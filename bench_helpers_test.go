@@ -1,0 +1,42 @@
+package flex_test
+
+import (
+	"testing"
+
+	flex "github.com/flex-eda/flex"
+)
+
+func genLayout() (*flex.Layout, error) {
+	return flex.GenerateCustom(600, 0.6, 33)
+}
+
+func mustLegal(b *testing.B, legal bool) {
+	b.Helper()
+	if !legal {
+		b.Fatal("engine produced an illegal layout")
+	}
+}
+
+func legalizeFLEX(l *flex.Layout) bool {
+	out, err := flex.Legalize(l, flex.EngineFLEX)
+	return err == nil && out.Legal
+}
+
+func legalizeMGL(l *flex.Layout, threads int) bool {
+	e := flex.EngineMGL
+	if threads > 1 {
+		e = flex.EngineMGLMT
+	}
+	out, err := flex.LegalizeWith(l, e, flex.Options{Threads: threads})
+	return err == nil && out.Legal
+}
+
+func legalizeGPU(l *flex.Layout) bool {
+	out, err := flex.Legalize(l, flex.EngineGPU)
+	return err == nil && out.Legal
+}
+
+func legalizeAnalytical(l *flex.Layout) bool {
+	out, err := flex.Legalize(l, flex.EngineAnalytical)
+	return err == nil && out.Legal
+}

@@ -1,0 +1,78 @@
+// Command benchgen synthesizes the IC/CAD-2017-shaped benchmark suite to
+// flexpl files, so other tools (and other implementations) can consume the
+// exact same inputs.
+//
+// Usage:
+//
+//	benchgen -design fft_a_md2 -scale 0.05 -out fft_a_md2.flexpl
+//	benchgen -all -scale 0.02 -dir bench/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	flex "github.com/flex-eda/flex"
+)
+
+func main() {
+	design := flag.String("design", "", "design name (see -list)")
+	all := flag.Bool("all", false, "generate every design in the suite")
+	list := flag.Bool("list", false, "list available designs")
+	scale := flag.Float64("scale", 0.02, "scale factor (1.0 = paper-size)")
+	out := flag.String("out", "", "output file for -design (default <name>.flexpl)")
+	dir := flag.String("dir", ".", "output directory for -all")
+	flag.Parse()
+
+	if *list {
+		for _, n := range flex.Designs() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	write := func(name, path string) error {
+		l, err := flex.Generate(name, *scale)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := flex.WriteLayout(f, l); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d cells -> %s\n", name, len(l.Cells), path)
+		return nil
+	}
+
+	switch {
+	case *all:
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, n := range flex.Designs() {
+			if err := write(n, filepath.Join(*dir, n+".flexpl")); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	case *design != "":
+		path := *out
+		if path == "" {
+			path = *design + ".flexpl"
+		}
+		if err := write(*design, path); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -design, -all or -list")
+		os.Exit(2)
+	}
+}

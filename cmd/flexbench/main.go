@@ -1,0 +1,147 @@
+// Command flexbench regenerates every table and figure of the FLEX paper's
+// evaluation section on the synthetic IC/CAD 2017 suite.
+//
+// Usage:
+//
+//	flexbench [-exp all|table1|table2|fig2a|fig2b|fig2c|fig2g|fig6g|fig8|fig9|fig10]
+//	          [-scale 0.02] [-designs name1,name2] [-threads 8] [-measure-original]
+//
+// Absolute numbers depend on the scale factor and the platform models; the
+// shapes (who wins, by what factor, where the crossovers are) are the
+// reproduction target. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/flex-eda/flex/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig2a, fig2b, fig2c, fig2g, fig6g, fig8, fig9, fig10, scalability, ordering)")
+	scale := flag.Float64("scale", 0.02, "benchmark scale factor (1.0 = paper-size designs)")
+	designs := flag.String("designs", "", "comma-separated design filter (default: all 16)")
+	threads := flag.Int("threads", 8, "CPU baseline thread count")
+	measure := flag.Bool("measure-original", false, "instrument the original multi-pass shifting (slower, more faithful)")
+	flag.Parse()
+
+	opt := experiments.Options{
+		Scale:           *scale,
+		Threads:         *threads,
+		MeasureOriginal: *measure,
+	}
+	if *designs != "" {
+		opt.Designs = strings.Split(*designs, ",")
+	}
+
+	run := func(name string, f func(experiments.Options) error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("==> %s\n", name)
+		if err := f(opt); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func(o experiments.Options) error {
+		rows, err := experiments.Table1(o)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTable1(rows).Render(os.Stdout)
+		return nil
+	})
+	run("table2", func(o experiments.Options) error {
+		experiments.Table2().Render(os.Stdout)
+		return nil
+	})
+	run("fig2a", func(o experiments.Options) error {
+		pts, err := experiments.Fig2a(o)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig2a(pts).Render(os.Stdout, 40)
+		return nil
+	})
+	run("fig2b", func(o experiments.Options) error {
+		pts, err := experiments.Fig2b(o)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig2b(pts).Render(os.Stdout, 40)
+		return nil
+	})
+	run("fig2c", func(o experiments.Options) error {
+		pts, err := experiments.Fig2c(o)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig2c(pts).Render(os.Stdout)
+		return nil
+	})
+	run("fig2g", func(o experiments.Options) error {
+		pts, err := experiments.Fig2g(o)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig2g(pts).Render(os.Stdout, 40)
+		return nil
+	})
+	run("fig6g", func(o experiments.Options) error {
+		pts, err := experiments.Fig6g(o)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig6g(pts).Render(os.Stdout)
+		return nil
+	})
+	run("fig8", func(o experiments.Options) error {
+		pts, err := experiments.Fig8(o)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig8(pts).Render(os.Stdout)
+		return nil
+	})
+	run("fig9", func(o experiments.Options) error {
+		pts, err := experiments.Fig9(o)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig9(pts).Render(os.Stdout)
+		return nil
+	})
+	run("fig10", func(o experiments.Options) error {
+		pts, err := experiments.Fig10(o)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig10(pts).Render(os.Stdout, 40)
+		return nil
+	})
+	// Extension experiments (not paper figures; see EXPERIMENTS.md).
+	if *exp == "scalability" {
+		fmt.Println("==> scalability")
+		pts, err := experiments.Scalability(opt, 5)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		experiments.RenderScalability(pts).Render(os.Stdout)
+	}
+	if *exp == "ordering" {
+		fmt.Println("==> ordering")
+		pts, err := experiments.OrderingAblation(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		experiments.RenderOrdering(pts).Render(os.Stdout)
+	}
+}

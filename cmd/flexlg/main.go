@@ -1,0 +1,98 @@
+// Command flexlg legalizes a placement in flexpl format with a selectable
+// engine and writes the legalized layout plus a quality/time report.
+//
+// Usage:
+//
+//	flexlg -engine flex|mgl|mgl-mt|gpu|analytical [-threads 8]
+//	       [-in design.flexpl] [-out legal.flexpl]
+//
+// With no -in, a small built-in demo design is generated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	flex "github.com/flex-eda/flex"
+)
+
+func main() {
+	engineName := flag.String("engine", "flex", "engine: flex, mgl, mgl-mt, gpu, analytical")
+	threads := flag.Int("threads", 8, "threads for mgl-mt")
+	in := flag.String("in", "", "input flexpl file (default: generated demo)")
+	out := flag.String("out", "", "output flexpl file (default: stdout suppressed)")
+	demoCells := flag.Int("demo-cells", 2000, "demo design cell count when no -in")
+	demoDensity := flag.Float64("demo-density", 0.6, "demo design density when no -in")
+	flag.Parse()
+
+	var engine flex.Engine
+	switch *engineName {
+	case "flex":
+		engine = flex.EngineFLEX
+	case "mgl":
+		engine = flex.EngineMGL
+	case "mgl-mt":
+		engine = flex.EngineMGLMT
+	case "gpu":
+		engine = flex.EngineGPU
+	case "analytical":
+		engine = flex.EngineAnalytical
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engineName)
+		os.Exit(2)
+	}
+
+	var layout *flex.Layout
+	var err error
+	if *in != "" {
+		f, err2 := os.Open(*in)
+		if err2 != nil {
+			fmt.Fprintln(os.Stderr, err2)
+			os.Exit(1)
+		}
+		layout, err = flex.ReadLayout(f)
+		f.Close()
+	} else {
+		layout, err = flex.GenerateCustom(*demoCells, *demoDensity, 1)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	result, err := flex.LegalizeWith(layout, engine, flex.Options{Threads: *threads})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("engine:          %s\n", result.Engine)
+	fmt.Printf("cells:           %d movable\n", result.Metrics.Movable)
+	fmt.Printf("legal:           %v\n", result.Legal)
+	fmt.Printf("aveDis (rows):   %.3f\n", result.Metrics.AveDis)
+	fmt.Printf("maxDis (rows):   %.3f\n", result.Metrics.MaxDis)
+	fmt.Printf("modeled seconds: %.6f\n", result.ModeledSeconds)
+	if !result.Legal {
+		for _, v := range result.Violations {
+			fmt.Printf("violation: %v\n", v)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := flex.WriteLayout(f, result.Layout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote:           %s\n", *out)
+	}
+	if !result.Legal {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+// iccad2017 runs all four legalizers over (a scaled-down copy of) the
+// paper's IC/CAD 2017 benchmark suite and prints a Table-1-style comparison:
+// per-design average displacement, modeled runtime and FLEX speedups.
+//
+// Usage: go run ./examples/iccad2017 [-scale 0.02] [-designs a,b,c]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	flex "github.com/flex-eda/flex"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.01, "scale factor (1.0 = paper size)")
+	filter := flag.String("designs", "fft_a_md2,fft_a_md3,pci_b_b_md2", "comma-separated designs ('all' for the full suite)")
+	flag.Parse()
+
+	names := flex.Designs()[:16] // the 16 contest designs
+	if *filter != "all" {
+		names = strings.Split(*filter, ",")
+	}
+
+	fmt.Printf("%-18s %8s | %8s %9s | %8s %9s | %8s %9s | %8s %9s | %7s %7s %7s\n",
+		"design", "cells",
+		"MGL dis", "MGL s", "GPU dis", "GPU s", "ANA dis", "ANA s", "FLEX dis", "FLEX s",
+		"Acc(T)", "Acc(D)", "Acc(I)")
+	for _, name := range names {
+		l, err := flex.Generate(name, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		type res struct {
+			dis, secs float64
+		}
+		get := func(e flex.Engine) res {
+			out, err := flex.Legalize(l, e)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !out.Legal {
+				log.Fatalf("%s/%v: illegal result", name, e)
+			}
+			return res{out.Metrics.AveDis, out.ModeledSeconds}
+		}
+		cpu := get(flex.EngineMGLMT)
+		gpu := get(flex.EngineGPU)
+		ana := get(flex.EngineAnalytical)
+		fx := get(flex.EngineFLEX)
+		fmt.Printf("%-18s %8d | %8.3f %9.5f | %8.3f %9.5f | %8.3f %9.5f | %8.3f %9.5f | %6.1fx %6.1fx %6.1fx\n",
+			name, len(l.MovableIDs()),
+			cpu.dis, cpu.secs, gpu.dis, gpu.secs, ana.dis, ana.secs, fx.dis, fx.secs,
+			cpu.secs/fx.secs, gpu.secs/fx.secs, ana.secs/fx.secs)
+	}
+}

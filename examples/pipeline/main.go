@@ -1,0 +1,95 @@
+// pipeline dissects the FPGA accelerator model on a single design: it
+// collects the per-region operation traces of a real legalization run and
+// prices them under every pipeline/SACS configuration, printing the
+// optimization ladder of the paper's Figs. 8 and 9 plus the Table-2
+// resource picture.
+//
+// This example deliberately reaches below the public facade into the
+// internal packages to show how the cycle models consume traces.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/flex-eda/flex/internal/fpga"
+	"github.com/flex-eda/flex/internal/gen"
+	"github.com/flex-eda/flex/internal/mgl"
+)
+
+func main() {
+	spec := gen.Small(1500, 0.7, 99)
+	layout, err := spec.Generate(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Trace a real FLEX-style run: streamed FOP, sliding-window ordering.
+	var traces []fpga.Trace
+	res := mgl.Legalize(layout, mgl.Config{
+		Streamed:      true,
+		SlidingWindow: 8,
+		TraceFn: func(tt mgl.TargetTrace) {
+			traces = append(traces, fpga.TraceFromFOP(tt.FOP, int(tt.CommitMoved)))
+		},
+	})
+	if !res.Legal {
+		log.Fatalf("run illegal: %v", res.Violations)
+	}
+	fmt.Printf("traced %d regions, %d insertion points total\n\n",
+		len(traces), res.Stats.FOP.InsertionPoints)
+
+	sum := func(cfg fpga.PEConfig) float64 {
+		var total float64
+		for _, tr := range traces {
+			total += cfg.RegionCycles(tr)
+		}
+		return total
+	}
+
+	fmt.Println("Fig. 8 ladder (whole FOP, cycles and speedup vs normal pipeline):")
+	base := sum(fpga.PEConfig{Pipeline: fpga.NormalPipeline, SACS: fpga.ShiftOriginal, NumPE: 1})
+	for _, step := range []struct {
+		name string
+		cfg  fpga.PEConfig
+	}{
+		{"normal pipeline + original shift", fpga.PEConfig{Pipeline: fpga.NormalPipeline, SACS: fpga.ShiftOriginal, NumPE: 1}},
+		{"+ SACS", fpga.PEConfig{Pipeline: fpga.NormalPipeline, SACS: fpga.SACSParal, NumPE: 1}},
+		{"+ multi-granularity pipeline", fpga.PEConfig{Pipeline: fpga.MultiGranularity, SACS: fpga.SACSParal, NumPE: 1}},
+		{"+ 2 FOP PEs", fpga.PEConfig{Pipeline: fpga.MultiGranularity, SACS: fpga.SACSParal, NumPE: 2}},
+	} {
+		c := sum(step.cfg)
+		fmt.Printf("  %-34s %12.0f cycles  %5.2fx  (%.4f s at 285 MHz)\n",
+			step.name, c, base/c, step.cfg.Seconds(c))
+	}
+
+	fmt.Println("\nFig. 9 ladder (shift stage only, speedup vs unpipelined SACS):")
+	shiftSum := func(lvl fpga.SACSLevel) float64 {
+		cfg := fpga.PEConfig{Pipeline: fpga.NormalPipeline, SACS: lvl, NumPE: 1}
+		var total float64
+		for _, tr := range traces {
+			total += cfg.ShiftCycles(tr)
+		}
+		return total
+	}
+	sacsBase := shiftSum(fpga.SACSBase)
+	for _, step := range []struct {
+		name string
+		lvl  fpga.SACSLevel
+	}{
+		{"SACS (algorithm only)", fpga.SACSBase},
+		{"SACS-Ar (pipelined architecture)", fpga.SACSArch},
+		{"SACS-ImpBW (bandwidth opts)", fpga.SACSImpBW},
+		{"SACS-Paral (parallel phases)", fpga.SACSParal},
+	} {
+		c := shiftSum(step.lvl)
+		fmt.Printf("  %-34s %12.0f cycles  %5.2fx\n", step.name, c, sacsBase/c)
+	}
+
+	fmt.Println("\nTable 2 resources:")
+	for _, n := range []int{1, 2} {
+		r := fpga.Estimate(n)
+		fmt.Printf("  %d FOP PE(s): %v (fits U50: %v)\n", n, r, r.FitsIn(fpga.AlveoU50))
+	}
+	fmt.Printf("  max PEs within the U50 budget: %d (BRAM-bound)\n", fpga.MaxPEs(fpga.AlveoU50))
+}

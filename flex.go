@@ -1,0 +1,213 @@
+// Package flex is the public API of the FLEX reproduction: an FPGA-CPU
+// co-designed legalizer for mixed-cell-height VLSI designs (Liu et al.,
+// "FLEX: Leveraging FPGA-CPU Synergy for Mixed-Cell-Height Legalization
+// Acceleration", ICPP 2025), together with the three baselines the paper
+// compares against and the synthetic IC/CAD 2017 benchmark suite it is
+// evaluated on.
+//
+// Quick start:
+//
+//	layout, _ := flex.Generate("fft_a_md2", 0.05)
+//	out, _ := flex.Legalize(layout, flex.EngineFLEX)
+//	fmt.Println(out.Legal, out.Metrics.AveDis, out.ModeledSeconds)
+//
+// Engines share the same algorithmic substrate (the MGL legalization flow);
+// they differ in scheduling policy and in the platform model that prices
+// their work. ModeledSeconds is deterministic — it is computed from
+// operation traces, not wall clocks — so comparisons are reproducible.
+package flex
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/flex-eda/flex/internal/analytical"
+	"github.com/flex-eda/flex/internal/core"
+	"github.com/flex-eda/flex/internal/fpga"
+	"github.com/flex-eda/flex/internal/gen"
+	"github.com/flex-eda/flex/internal/gpu"
+	"github.com/flex-eda/flex/internal/mgl"
+	"github.com/flex-eda/flex/internal/model"
+	"github.com/flex-eda/flex/internal/perf"
+)
+
+// Core data-model vocabulary, re-exported for API users.
+type (
+	// Layout is a complete design: die, rows, and all cells.
+	Layout = model.Layout
+	// Cell is one standard cell (movable or fixed blockage).
+	Cell = model.Cell
+	// Metrics is the quality summary (AveDis is Eq. 2 of the paper).
+	Metrics = model.Metrics
+	// Violation is one legality failure.
+	Violation = model.Violation
+	// PGParity is the power/ground rail alignment constraint.
+	PGParity = model.PGParity
+)
+
+// Re-exported parity constants.
+const (
+	ParityAny  = model.ParityAny
+	ParityEven = model.ParityEven
+	ParityOdd  = model.ParityOdd
+)
+
+// Engine selects a legalizer implementation.
+type Engine int
+
+const (
+	// EngineFLEX is the paper's FPGA-CPU accelerator (sliding-window
+	// ordering, streaming FOP on the FPGA model, step e on the CPU).
+	EngineFLEX Engine = iota
+	// EngineMGL is the sequential software MGL reference.
+	EngineMGL
+	// EngineMGLMT is the TCAD'22-style multi-threaded CPU baseline.
+	EngineMGLMT
+	// EngineGPU is the DATE'22-style CPU-GPU baseline.
+	EngineGPU
+	// EngineAnalytical is the ISPD'25-style analytical baseline.
+	EngineAnalytical
+)
+
+// String names the engine as in the paper's Table 1.
+func (e Engine) String() string {
+	switch e {
+	case EngineFLEX:
+		return "FLEX"
+	case EngineMGL:
+		return "MGL"
+	case EngineMGLMT:
+		return "TCAD'22-MGL"
+	case EngineGPU:
+		return "DATE'22"
+	case EngineAnalytical:
+		return "ISPD'25"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// Options tunes an engine run. The zero value picks the paper's defaults.
+type Options struct {
+	// Threads is the CPU baseline's worker count (EngineMGLMT; default 8).
+	Threads int
+	// SlidingWindow is FLEX's ordering window (default 8; negative
+	// disables the density reordering).
+	SlidingWindow int
+	// TwoPE selects the 2-parallel FOP PE cluster for FLEX (default true).
+	OnePE bool
+	// OffloadInsert moves step e) to the FPGA (the Fig. 10 ablation).
+	OffloadInsert bool
+}
+
+// Outcome is a finished legalization with its quality and modeled runtime.
+type Outcome struct {
+	Layout         *Layout
+	Metrics        Metrics
+	Legal          bool
+	Violations     []Violation
+	ModeledSeconds float64
+	Engine         Engine
+}
+
+// Legalize runs the selected engine with default options on a clone of l.
+func Legalize(l *Layout, engine Engine) (*Outcome, error) {
+	return LegalizeWith(l, engine, Options{})
+}
+
+// LegalizeWith runs the selected engine with explicit options.
+func LegalizeWith(l *Layout, engine Engine, opt Options) (*Outcome, error) {
+	if l == nil {
+		return nil, fmt.Errorf("flex: nil layout")
+	}
+	out := &Outcome{Engine: engine}
+	switch engine {
+	case EngineFLEX:
+		cfg := core.Config{SlidingWindow: opt.SlidingWindow}
+		if opt.OnePE {
+			cfg.PE = fpga.PEConfig{Pipeline: fpga.MultiGranularity, SACS: fpga.SACSParal, NumPE: 1}
+		}
+		if opt.OffloadInsert {
+			cfg.Assignment = core.FOPAndInsertOnFPGA
+		}
+		r := core.Legalize(l, cfg)
+		out.Layout, out.Metrics, out.Legal = r.Layout, r.Metrics, r.Legal
+		out.Violations = r.Violations
+		out.ModeledSeconds = r.TotalSeconds
+	case EngineMGL:
+		r := mgl.Legalize(l, mgl.Config{})
+		out.Layout, out.Metrics, out.Legal = r.Layout, r.Metrics, r.Legal
+		out.Violations = r.Violations
+		out.ModeledSeconds = perf.DefaultCPU.Seconds(r.Stats.WorkSerial)
+	case EngineMGLMT:
+		threads := opt.Threads
+		if threads == 0 {
+			threads = 8
+		}
+		r := mgl.Legalize(l, mgl.Config{Threads: threads})
+		out.Layout, out.Metrics, out.Legal = r.Layout, r.Metrics, r.Legal
+		out.Violations = r.Violations
+		out.ModeledSeconds = perf.DefaultCPU.ParallelSeconds(
+			r.Stats.WorkSerial, r.Stats.WorkCritical, int(r.Stats.Batches), threads)
+	case EngineGPU:
+		r := gpu.Legalize(l, gpu.Config{})
+		out.Layout, out.Metrics, out.Legal = r.Layout, r.Metrics, r.Legal
+		out.Violations = r.Violations
+		out.ModeledSeconds = r.TotalSeconds
+	case EngineAnalytical:
+		r := analytical.Legalize(l, analytical.Config{})
+		out.Layout, out.Metrics, out.Legal = r.Layout, r.Metrics, r.Legal
+		out.Violations = r.Violations
+		out.ModeledSeconds = r.TotalSeconds
+	default:
+		return nil, fmt.Errorf("flex: unknown engine %d", int(engine))
+	}
+	return out, nil
+}
+
+// Designs lists the available benchmark names: the 16 IC/CAD 2017 designs
+// of the paper's Table 1 plus the two superblue-scale designs of Fig. 2(b).
+func Designs() []string {
+	var names []string
+	for _, s := range gen.ICCAD2017() {
+		names = append(names, s.Name)
+	}
+	for _, s := range gen.Superblue() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// Generate synthesizes the named benchmark at the given scale factor
+// (1.0 = the paper's cell count; 0.02 is a laptop-friendly size).
+func Generate(name string, scale float64) (*Layout, error) {
+	spec, ok := gen.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("flex: unknown design %q (see Designs())", name)
+	}
+	return spec.Generate(scale)
+}
+
+// GenerateCustom synthesizes an ad-hoc benchmark with the given movable
+// cell count, design density and RNG seed.
+func GenerateCustom(cells int, density float64, seed int64) (*Layout, error) {
+	return gen.Small(cells, density, seed).Generate(1.0)
+}
+
+// ReadLayout decodes a layout in flexpl text format.
+func ReadLayout(r io.Reader) (*Layout, error) { return model.Decode(r) }
+
+// WriteLayout encodes a layout in flexpl text format.
+func WriteLayout(w io.Writer, l *Layout) error { return model.Encode(w, l) }
+
+// Measure recomputes quality metrics for a layout.
+func Measure(l *Layout) Metrics { return model.Measure(l) }
+
+// Check validates a layout and returns up to max violations (0 = all).
+func Check(l *Layout, max int) []Violation { return l.Check(max) }
+
+// FPGAResources returns the modeled FPGA footprint of a FLEX cluster with
+// the given number of FOP PEs, and the Alveo U50 budget it must fit in
+// (the paper's Table 2).
+func FPGAResources(numPE int) (used, available fpga.Resources) {
+	return fpga.Estimate(numPE), fpga.AlveoU50
+}

@@ -1,0 +1,86 @@
+package analytical
+
+import (
+	"testing"
+
+	"github.com/flex-eda/flex/internal/model"
+)
+
+func TestAnalyticalEmptyLayout(t *testing.T) {
+	l := &model.Layout{Name: "empty", NumSitesX: 10, NumRows: 4, RowHeight: 8}
+	res := Legalize(l, Config{})
+	if !res.Legal {
+		t.Fatal("empty layout illegal")
+	}
+}
+
+func TestAnalyticalSingleRowDesign(t *testing.T) {
+	// Only single-height cells: the consensus loop degenerates to pure
+	// per-row Abacus, which must be clean.
+	l := &model.Layout{Name: "flat", NumSitesX: 120, NumRows: 4, RowHeight: 8}
+	for i := 0; i < 20; i++ {
+		x := (i % 5) * 20
+		y := i / 5
+		l.Cells = append(l.Cells, model.Cell{
+			ID: i, Name: "c", X: x, Y: y, GX: x + 2, GY: y, W: 6, H: 1,
+			Parity: model.ParityAny,
+		})
+	}
+	res := Legalize(l, Config{Iterations: 8})
+	if !res.Legal {
+		t.Fatalf("single-height design illegal: %v", res.Violations)
+	}
+	if res.Metrics.AveDis > 2 {
+		t.Fatalf("single-height design displaced too much: %v", res.Metrics.AveDis)
+	}
+}
+
+func TestAnalyticalWithBlockageStripe(t *testing.T) {
+	l := &model.Layout{Name: "stripe", NumSitesX: 100, NumRows: 6, RowHeight: 8}
+	l.Cells = append(l.Cells, model.Cell{
+		ID: 0, Name: "blk", X: 48, Y: 0, GX: 48, GY: 0, W: 4, H: 6, Fixed: true,
+	})
+	for i := 1; i <= 16; i++ {
+		x := ((i - 1) % 4) * 11
+		if i > 8 {
+			x += 54 // right panel
+		}
+		y := ((i - 1) / 4) % 2 * 2
+		l.Cells = append(l.Cells, model.Cell{
+			ID: i, Name: "c", X: x, Y: y, GX: x, GY: y, W: 5, H: 2,
+			Parity: model.ParityEven,
+		})
+	}
+	res := Legalize(l, Config{Iterations: 6})
+	if !res.Legal {
+		t.Fatalf("striped design illegal: %v (failed=%d)", res.Violations, res.Failed)
+	}
+	// No cell may sit on the stripe.
+	for i := 1; i < len(res.Layout.Cells); i++ {
+		c := &res.Layout.Cells[i]
+		if c.X+c.W > 48 && c.X < 52 {
+			t.Fatalf("cell %d overlaps the blockage stripe at x=%d", i, c.X)
+		}
+	}
+}
+
+func TestRepairRelocatesOffenders(t *testing.T) {
+	// Hand-made overlap: two cells on the same spot in a roomy die.
+	l := &model.Layout{Name: "pair", NumSitesX: 60, NumRows: 4, RowHeight: 8}
+	for i := 0; i < 2; i++ {
+		l.Cells = append(l.Cells, model.Cell{
+			ID: i, Name: "c", X: 10, Y: 0, GX: 10, GY: 0, W: 4, H: 1,
+			Parity: model.ParityAny,
+		})
+	}
+	moved, rest := repair(l)
+	if rest != 0 {
+		t.Fatalf("repair left %d overlaps", rest)
+	}
+	if moved == 0 {
+		t.Fatal("repair moved nothing")
+	}
+	if vs := l.Check(0); len(vs) != 0 {
+		t.Fatalf("layout still illegal after repair: %v", vs)
+	}
+}

@@ -1,0 +1,271 @@
+// Package curve implements the displacement-curve machinery of the MGL
+// algorithm (Sec. 2.2.3 of the FLEX paper): piecewise-linear per-cell
+// displacement curves represented as breakpoints, and the two equivalent
+// evaluation pipelines the paper contrasts:
+//
+//   - EvalOriginal — the original five-operator sequence (sort bp, merge bp,
+//     sum slopesR, sum slopesL, calculate value), each operator a separate
+//     pass that materializes its intermediate results, exactly like the
+//     RAM-coupled "Normal Pipeline" of Fig. 5.
+//   - EvalStreamed — the restructured fwdtraverse/bwdtraverse organization
+//     (fwdmerge + sum slopesR + calculate vR fused into one forward pass;
+//     bwdmerge + sum slopesL + calculate vL and v fused into one backward
+//     pass), the multi-granularity-pipeline-friendly dataflow of Fig. 5.
+//
+// Both produce bit-identical results; the FPGA cycle models in
+// internal/fpga charge them differently.
+//
+// A Breakpoint (X, SL, SR, Base) denotes a single-hinge piecewise-linear
+// function: f(x) = Base + SL·(x−X) for x < X and Base + SR·(x−X) for x ≥ X.
+// Curves with two turning points (a cell that first catches up with its
+// global position and then overshoots) are decomposed into two hinges; the
+// summation pipeline is agnostic to the decomposition.
+package curve
+
+import "sort"
+
+// Breakpoint is one hinge of a piecewise-linear displacement curve.
+type Breakpoint struct {
+	X    int // target-cell position at which the slope changes
+	SL   int // slope left of X
+	SR   int // slope right of X
+	Base int // curve value at X
+}
+
+// Eval returns the hinge's value at x.
+func (b Breakpoint) Eval(x int) int {
+	if x < b.X {
+		return b.Base + b.SL*(x-b.X)
+	}
+	return b.Base + b.SR*(x-b.X)
+}
+
+// Result is the outcome of evaluating the summed displacement curve over a
+// feasible interval [Lo, Hi].
+type Result struct {
+	BestX    int  // argmin of the summed curve, clamped to [Lo, Hi]
+	BestVal  int  // minimum summed displacement
+	Feasible bool // false when Lo > Hi
+}
+
+// Stats counts the work done by one evaluation, mirroring the operator
+// granularity the FPGA cycle models charge for.
+type Stats struct {
+	RawBps    int // breakpoints entering the sorter
+	MergedBps int // breakpoints after merging equal positions
+	SortOps   int // comparison-ish units spent sorting
+	Traversal int // items touched by the four traversal operators
+}
+
+// SumBase returns the sum of all hinge base values (the x-independent part
+// of the summed curve).
+func SumBase(bps []Breakpoint) int {
+	s := 0
+	for i := range bps {
+		s += bps[i].Base
+	}
+	return s
+}
+
+// BruteForce evaluates the summed curve at x by direct summation. It is the
+// test oracle for both pipelines.
+func BruteForce(bps []Breakpoint, x int) int {
+	v := 0
+	for i := range bps {
+		v += bps[i].Eval(x)
+	}
+	return v
+}
+
+// merged is one merged breakpoint: accumulated slopes of all hinges at the
+// same x.
+type merged struct {
+	x      int
+	sl, sr int
+}
+
+// sortAndMerge sorts the hinges by position and merges equal positions,
+// returning the merged list plus sort/merge work counts. Both pipelines
+// share it; EvalOriginal charges the passes separately on top.
+func sortAndMerge(bps []Breakpoint, st *Stats) []merged {
+	st.RawBps += len(bps)
+	xs := make([]Breakpoint, len(bps))
+	copy(xs, bps)
+	sort.Slice(xs, func(i, j int) bool { return xs[i].X < xs[j].X })
+	if n := len(bps); n > 1 {
+		// n log n comparison units, the cost charged to "sort bp".
+		logn := 0
+		for v := n; v > 1; v >>= 1 {
+			logn++
+		}
+		st.SortOps += n * logn
+	}
+	out := make([]merged, 0, len(xs))
+	for _, b := range xs {
+		if len(out) > 0 && out[len(out)-1].x == b.X {
+			out[len(out)-1].sl += b.SL
+			out[len(out)-1].sr += b.SR
+		} else {
+			out = append(out, merged{x: b.X, sl: b.SL, sr: b.SR})
+		}
+	}
+	st.MergedBps += len(out)
+	return out
+}
+
+// withBounds injects zero-slope sentinel breakpoints at lo and hi so the
+// constrained minimum over [lo, hi] is attained at one of the merged
+// breakpoints inside the interval.
+func withBounds(bps []Breakpoint, lo, hi int) []Breakpoint {
+	out := make([]Breakpoint, 0, len(bps)+2)
+	out = append(out, bps...)
+	out = append(out, Breakpoint{X: lo}, Breakpoint{X: hi})
+	return out
+}
+
+// EvalOriginal runs the paper's original five-operator FOP tail: sort bp →
+// merge bp → sum slopesR → sum slopesL → calculate value, with each operator
+// as a discrete pass over materialized intermediates. The minimum is taken
+// over x in [lo, hi].
+func EvalOriginal(bps []Breakpoint, lo, hi int, st *Stats) Result {
+	if lo > hi {
+		return Result{Feasible: false}
+	}
+	if st == nil {
+		st = &Stats{}
+	}
+	base := SumBase(bps)
+	ms := sortAndMerge(withBounds(bps, lo, hi), st)
+	n := len(ms)
+
+	// sum slopesR: forward traversal, cumulative right slopes.
+	slopesR := make([]int, n)
+	acc := 0
+	for i := 0; i < n; i++ {
+		acc += ms[i].sr
+		slopesR[i] = acc
+		st.Traversal++
+	}
+	// sum slopesL: backward traversal, cumulative left slopes.
+	slopesL := make([]int, n)
+	acc = 0
+	for i := n - 1; i >= 0; i-- {
+		acc += ms[i].sl
+		slopesL[i] = acc
+		st.Traversal++
+	}
+	// calculate value: value at the first breakpoint, then walk segments
+	// using the slope between adjacent merged breakpoints.
+	vals := make([]int, n)
+	v0 := 0
+	for i := 1; i < n; i++ {
+		// Hinges right of ms[0] contribute SL·(x0−xi) each; accumulate
+		// directly (the software analogue of the slopesL-weighted sum).
+		v0 += ms[i].sl * (ms[0].x - ms[i].x)
+		st.Traversal++
+	}
+	vals[0] = v0
+	for i := 1; i < n; i++ {
+		seg := slopesR[i-1] + slopesL[i]
+		vals[i] = vals[i-1] + seg*(ms[i].x-ms[i-1].x)
+		st.Traversal++
+	}
+	res := Result{Feasible: true, BestVal: int(^uint(0) >> 1)}
+	for i := 0; i < n; i++ {
+		if ms[i].x < lo || ms[i].x > hi {
+			continue
+		}
+		v := base + vals[i]
+		if v < res.BestVal || (v == res.BestVal && ms[i].x < res.BestX) {
+			res.BestVal = v
+			res.BestX = ms[i].x
+		}
+	}
+	return res
+}
+
+// EvalStreamed runs the restructured dataflow of Fig. 5: a single forward
+// pass (fwdmerge, sum slopesR, calculate vR) followed by a single backward
+// pass (bwdmerge, sum slopesL, calculate vL and v). No intermediate arrays
+// beyond the merged breakpoints and the forward partials are materialized.
+func EvalStreamed(bps []Breakpoint, lo, hi int, st *Stats) Result {
+	if lo > hi {
+		return Result{Feasible: false}
+	}
+	if st == nil {
+		st = &Stats{}
+	}
+	base := SumBase(bps)
+	ms := sortAndMerge(withBounds(bps, lo, hi), st)
+	n := len(ms)
+
+	// fwdtraverse: vR_i = Σ_{j≤i} SR_j·(x_i − x_j), computed incrementally.
+	vR := make([]int, n)
+	cumR := 0
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			vR[i] = vR[i-1] + cumR*(ms[i].x-ms[i-1].x)
+		}
+		cumR += ms[i].sr
+		st.Traversal++
+	}
+	// bwdtraverse: vL_i = Σ_{j≥i} SL_j·(x_i − x_j) incrementally, fused with
+	// the final v_i = base + vR_i + vL_i minimum selection.
+	res := Result{Feasible: true, BestVal: int(^uint(0) >> 1)}
+	cumL := 0
+	vL := 0
+	for i := n - 1; i >= 0; i-- {
+		if i < n-1 {
+			vL += cumL * (ms[i].x - ms[i+1].x)
+		}
+		cumL += ms[i].sl
+		st.Traversal++
+		if ms[i].x < lo || ms[i].x > hi {
+			continue
+		}
+		v := base + vR[i] + vL
+		if v < res.BestVal || (v == res.BestVal && ms[i].x <= res.BestX) {
+			res.BestVal = v
+			res.BestX = ms[i].x
+		}
+	}
+	return res
+}
+
+// HingesForPush returns the 1–2 hinge decomposition for a cell that a
+// rightward-moving target pushes right. cur is the cell's current position,
+// g its global-placement position, and thresh the target position at which
+// the push engages (newpos(x) = max(cur, x + (cur − thresh))).
+//
+// The mirrored left-push case is obtained by negating coordinates; see
+// HingesForPushLeft.
+func HingesForPush(cur, g, thresh int) []Breakpoint {
+	if cur >= g {
+		// Monotone hinge: flat at cur−g, then slope +1.
+		return []Breakpoint{{X: thresh, SL: 0, SR: 1, Base: cur - g}}
+	}
+	// Flat at g−cur, then slope −1 down to 0 at x = thresh+(g−cur), then +1.
+	return []Breakpoint{
+		{X: thresh, SL: 0, SR: -1, Base: g - cur},
+		{X: thresh + (g - cur), SL: 0, SR: 2, Base: 0},
+	}
+}
+
+// HingesForPushLeft returns the hinge decomposition for a cell pushed left:
+// newpos(x) = min(cur, x − (thresh − cur)) engages for x < thresh.
+func HingesForPushLeft(cur, g, thresh int) []Breakpoint {
+	if cur <= g {
+		return []Breakpoint{{X: thresh, SL: -1, SR: 0, Base: g - cur}}
+	}
+	return []Breakpoint{
+		{X: thresh, SL: 1, SR: 0, Base: cur - g},
+		{X: thresh - (cur - g), SL: -2, SR: 0, Base: 0},
+	}
+}
+
+// VHinge returns the target cell's own displacement curve: a V centred on
+// its preferred position with an x-independent base cost (the vertical
+// displacement term).
+func VHinge(preferred, base int) Breakpoint {
+	return Breakpoint{X: preferred, SL: -1, SR: 1, Base: base}
+}

@@ -1,0 +1,91 @@
+package curve
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSegmentSlopeReconstruction verifies the slope identity the FOP
+// pipeline relies on: between adjacent merged breakpoints, the summed
+// curve's slope equals (cumulative right slopes left of the segment) +
+// (cumulative left slopes right of it).
+func TestSegmentSlopeReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 200; iter++ {
+		bps := randomHinges(r, 1+r.Intn(10))
+		// Collect distinct sorted positions.
+		seen := map[int]bool{}
+		for _, b := range bps {
+			seen[b.X] = true
+		}
+		xs := make([]int, 0, len(seen))
+		for x := range seen {
+			xs = append(xs, x)
+		}
+		for i := 0; i < len(xs); i++ {
+			for j := i + 1; j < len(xs); j++ {
+				if xs[j] < xs[i] {
+					xs[i], xs[j] = xs[j], xs[i]
+				}
+			}
+		}
+		for k := 0; k+1 < len(xs); k++ {
+			a, b := xs[k], xs[k+1]
+			if b-a < 2 {
+				continue
+			}
+			// Measured slope from two interior points.
+			m := BruteForce(bps, a+1) - BruteForce(bps, a)
+			// Reconstructed slope from the breakpoint representation.
+			sum := 0
+			for _, bp := range bps {
+				if bp.X <= a {
+					sum += bp.SR
+				} else {
+					sum += bp.SL
+				}
+			}
+			if m != sum {
+				t.Fatalf("iter %d: segment (%d,%d): measured slope %d, reconstructed %d",
+					iter, a, b, m, sum)
+			}
+		}
+	}
+}
+
+// TestEvalTranslationInvariance: shifting every hinge and the interval by a
+// constant shifts the argmin by the same constant and keeps the value.
+func TestEvalTranslationInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	for iter := 0; iter < 200; iter++ {
+		bps := randomHinges(r, 1+r.Intn(8))
+		lo := -40
+		hi := 40
+		d := r.Intn(100) - 50
+		shifted := make([]Breakpoint, len(bps))
+		for i, b := range bps {
+			b.X += d
+			shifted[i] = b
+		}
+		a := EvalStreamed(bps, lo, hi, nil)
+		b := EvalStreamed(shifted, lo+d, hi+d, nil)
+		if a.BestVal != b.BestVal || a.BestX+d != b.BestX {
+			t.Fatalf("iter %d: translation broke evaluation: %+v vs %+v (d=%d)", iter, a, b, d)
+		}
+	}
+}
+
+// TestEvalAdditivity: evaluating the union of two hinge sets at a point
+// equals the sum of the individual evaluations at that point.
+func TestEvalAdditivity(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for iter := 0; iter < 300; iter++ {
+		a := randomHinges(r, 1+r.Intn(6))
+		b := randomHinges(r, 1+r.Intn(6))
+		x := r.Intn(200) - 100
+		all := append(append([]Breakpoint{}, a...), b...)
+		if BruteForce(all, x) != BruteForce(a, x)+BruteForce(b, x) {
+			t.Fatalf("iter %d: additivity broken", iter)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package experiments contains one driver per table and figure of the FLEX
+// paper's evaluation (Sec. 5). Every driver runs the real engines on the
+// synthetic IC/CAD 2017 suite at a configurable scale and returns the rows
+// or series the paper reports; cmd/flexbench and bench_test.go render them.
+//
+// DESIGN.md carries the experiment index; EXPERIMENTS.md records measured
+// shapes against the paper's.
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/flex-eda/flex/internal/analytical"
+	"github.com/flex-eda/flex/internal/core"
+	"github.com/flex-eda/flex/internal/fpga"
+	"github.com/flex-eda/flex/internal/gen"
+	"github.com/flex-eda/flex/internal/gpu"
+	"github.com/flex-eda/flex/internal/mgl"
+	"github.com/flex-eda/flex/internal/model"
+	"github.com/flex-eda/flex/internal/perf"
+	"github.com/flex-eda/flex/internal/report"
+)
+
+// Options configures a driver run.
+type Options struct {
+	// Scale shrinks every design's cell count (1.0 = the paper's size).
+	// The default 0.02 keeps a full-suite run in CI territory.
+	Scale float64
+	// Designs filters the suite by name; empty = all 16.
+	Designs []string
+	// MeasureOriginal instruments the original multi-pass shifting per
+	// insertion point (slower, more faithful Normal-Pipeline cycle counts).
+	MeasureOriginal bool
+	// Threads is the CPU baseline's thread count (0 = 8, the paper's).
+	Threads int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 0.02
+	}
+	if o.Threads == 0 {
+		o.Threads = 8
+	}
+	return o
+}
+
+func (o Options) suite() []gen.Spec {
+	all := gen.ICCAD2017()
+	if len(o.Designs) == 0 {
+		return all
+	}
+	want := map[string]bool{}
+	for _, n := range o.Designs {
+		want[n] = true
+	}
+	var out []gen.Spec
+	for _, s := range all {
+		if want[s.Name] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// EngineCell is one engine's outcome on one design.
+type EngineCell struct {
+	AveDis  float64
+	Seconds float64
+	Legal   bool
+}
+
+// Table1Row mirrors one row of the paper's Table 1.
+type Table1Row struct {
+	Name    string
+	Cells   int
+	Density float64
+	MGL     EngineCell // TCAD'22 multi-threaded CPU baseline
+	Date    EngineCell // DATE'22 CPU-GPU baseline
+	Ispd    EngineCell // ISPD'25 analytical baseline
+	Flex    EngineCell // this work
+	AccT    float64    // Flex speedup vs MGL
+	AccD    float64    // Flex speedup vs DATE'22
+	AccI    float64    // Flex speedup vs ISPD'25
+}
+
+// Table1 runs all four engines over the (filtered, scaled) suite.
+func Table1(opt Options) ([]Table1Row, error) {
+	opt = opt.withDefaults()
+	var rows []Table1Row
+	for _, spec := range opt.suite() {
+		l, err := spec.Generate(opt.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", spec.Name, err)
+		}
+		row := Table1Row{
+			Name:    spec.Name,
+			Cells:   len(l.MovableIDs()),
+			Density: l.Density(),
+		}
+
+		cpuRes := mgl.Legalize(l, mgl.Config{Threads: opt.Threads})
+		cpuSecs := perf.DefaultCPU.ParallelSeconds(cpuRes.Stats.WorkSerial,
+			cpuRes.Stats.WorkCritical, int(cpuRes.Stats.Batches), opt.Threads)
+		row.MGL = EngineCell{AveDis: cpuRes.Metrics.AveDis, Seconds: cpuSecs, Legal: cpuRes.Legal}
+
+		gRes := gpu.Legalize(l, gpu.Config{})
+		row.Date = EngineCell{AveDis: gRes.Metrics.AveDis, Seconds: gRes.TotalSeconds, Legal: gRes.Legal}
+
+		aRes := analytical.Legalize(l, analytical.Config{})
+		row.Ispd = EngineCell{AveDis: aRes.Metrics.AveDis, Seconds: aRes.TotalSeconds, Legal: aRes.Legal}
+
+		fRes := core.Legalize(l, core.Config{MeasureOriginalShift: opt.MeasureOriginal})
+		row.Flex = EngineCell{AveDis: fRes.Metrics.AveDis, Seconds: fRes.TotalSeconds, Legal: fRes.Legal}
+
+		if row.Flex.Seconds > 0 {
+			row.AccT = row.MGL.Seconds / row.Flex.Seconds
+			row.AccD = row.Date.Seconds / row.Flex.Seconds
+			row.AccI = row.Ispd.Seconds / row.Flex.Seconds
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable1 formats Table-1 rows like the paper.
+func RenderTable1(rows []Table1Row) *report.Table {
+	t := report.NewTable("Table 1: result comparison on the synthetic IC/CAD 2017 suite",
+		"Benchmark", "Cell#", "Den.(%)",
+		"MGL AveDis", "MGL T(s)",
+		"DATE AveDis", "DATE T(s)",
+		"ISPD AveDis", "ISPD T(s)",
+		"FLEX AveDis", "FLEX T(s)",
+		"Acc(T)", "Acc(D)", "Acc(I)")
+	var sum Table1Row
+	for _, r := range rows {
+		t.Add(r.Name, fmt.Sprint(r.Cells), report.F(r.Density*100, 1),
+			report.F(r.MGL.AveDis, 3), report.Secs(r.MGL.Seconds),
+			report.F(r.Date.AveDis, 3), report.Secs(r.Date.Seconds),
+			report.F(r.Ispd.AveDis, 3), report.Secs(r.Ispd.Seconds),
+			report.F(r.Flex.AveDis, 3), report.Secs(r.Flex.Seconds),
+			report.X(r.AccT), report.X(r.AccD), report.X(r.AccI))
+		sum.MGL.AveDis += r.MGL.AveDis
+		sum.MGL.Seconds += r.MGL.Seconds
+		sum.Date.AveDis += r.Date.AveDis
+		sum.Date.Seconds += r.Date.Seconds
+		sum.Ispd.AveDis += r.Ispd.AveDis
+		sum.Ispd.Seconds += r.Ispd.Seconds
+		sum.Flex.AveDis += r.Flex.AveDis
+		sum.Flex.Seconds += r.Flex.Seconds
+		sum.AccT += r.AccT
+		sum.AccD += r.AccD
+		sum.AccI += r.AccI
+	}
+	if n := float64(len(rows)); n > 0 {
+		t.Add("Average", "", "",
+			report.F(sum.MGL.AveDis/n, 3), report.Secs(sum.MGL.Seconds/n),
+			report.F(sum.Date.AveDis/n, 3), report.Secs(sum.Date.Seconds/n),
+			report.F(sum.Ispd.AveDis/n, 3), report.Secs(sum.Ispd.Seconds/n),
+			report.F(sum.Flex.AveDis/n, 3), report.Secs(sum.Flex.Seconds/n),
+			report.X(sum.AccT/n), report.X(sum.AccD/n), report.X(sum.AccI/n))
+		if sum.Flex.AveDis > 0 {
+			t.Add("Ratio", "", "",
+				report.F(sum.MGL.AveDis/sum.Flex.AveDis, 2), report.X(sum.MGL.Seconds/sum.Flex.Seconds),
+				report.F(sum.Date.AveDis/sum.Flex.AveDis, 2), report.X(sum.Date.Seconds/sum.Flex.Seconds),
+				report.F(sum.Ispd.AveDis/sum.Flex.AveDis, 2), report.X(sum.Ispd.Seconds/sum.Flex.Seconds),
+				"1.00", "1.0x", "", "", "")
+		}
+	}
+	return t
+}
+
+// Table2 renders the FPGA resource table.
+func Table2() *report.Table {
+	t := report.NewTable("Table 2: hardware resource consumption on FPGA",
+		"Configuration", "LUTs", "FFs", "BRAMs", "DSPs")
+	one := fpga.Estimate(1)
+	two := fpga.Estimate(2)
+	t.Add("No parallelism of FOP PE", fmt.Sprint(one.LUTs), fmt.Sprint(one.FFs), fmt.Sprint(one.BRAMs), fmt.Sprint(one.DSPs))
+	t.Add("2 parallelism of FOP PE", fmt.Sprint(two.LUTs), fmt.Sprint(two.FFs), fmt.Sprint(two.BRAMs), fmt.Sprint(two.DSPs))
+	t.Add("Available", fmt.Sprint(fpga.AlveoU50.LUTs), fmt.Sprint(fpga.AlveoU50.FFs), fmt.Sprint(fpga.AlveoU50.BRAMs), fmt.Sprint(fpga.AlveoU50.DSPs))
+	return t
+}
+
+// traceDesign runs the FLEX-configured sequential flow once and returns the
+// per-region FPGA traces plus the final run result.
+func traceDesign(l *model.Layout, measureOriginal bool) ([]fpga.Trace, *mgl.Result) {
+	var traces []fpga.Trace
+	cfg := mgl.Config{
+		Streamed:             true,
+		SlidingWindow:        8,
+		MeasureOriginalShift: measureOriginal,
+		TraceFn: func(tt mgl.TargetTrace) {
+			traces = append(traces, fpga.TraceFromFOP(tt.FOP, int(tt.CommitMoved)))
+		},
+	}
+	res := mgl.Legalize(l, cfg)
+	return traces, res
+}
+
+func sumCycles(cfg fpga.PEConfig, traces []fpga.Trace) float64 {
+	var total float64
+	for _, tr := range traces {
+		total += cfg.RegionCycles(tr)
+	}
+	return total
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/flex-eda/flex/internal/core"
+	"github.com/flex-eda/flex/internal/fpga"
+	"github.com/flex-eda/flex/internal/model"
+	"github.com/flex-eda/flex/internal/report"
+)
+
+// legalizeFlexOrdering runs FLEX with the given sliding-window length and
+// returns the resulting AveDis.
+func legalizeFlexOrdering(l *model.Layout, window int) float64 {
+	res := core.Legalize(l, core.Config{SlidingWindow: window})
+	return res.Metrics.AveDis
+}
+
+// ScalabilityPoint is one row of the Sec. 5.4 extension experiment: FPGA
+// FOP speedup and resource footprint as the FOP PE count grows beyond the
+// paper's two.
+type ScalabilityPoint struct {
+	NumPE     int
+	Speedup   float64 // FOP time vs 1 PE at the BRAM-mapped clock
+	Resources fpga.Resources
+	FitsU50   bool // within the BRAM budget
+	// URAM remap (Sec. 5.4): whether the config fits with per-PE tables in
+	// UltraRAM, and the speedup at the de-rated URAM clock.
+	FitsURAM    bool
+	URAMSpeedup float64
+}
+
+// Scalability prices one design's trace set under growing PE counts —
+// the paper's "speedup can be further improved by increasing the number of
+// FOP PEs while BRAM may become a resource bound" projection.
+func Scalability(opt Options, maxPE int) ([]ScalabilityPoint, error) {
+	opt = opt.withDefaults()
+	if maxPE < 2 {
+		maxPE = 4
+	}
+	suite := opt.suite()
+	if len(suite) == 0 {
+		return nil, fmt.Errorf("scalability: empty suite")
+	}
+	l, err := suite[0].Generate(opt.Scale)
+	if err != nil {
+		return nil, err
+	}
+	traces, _ := traceDesign(l, false)
+	base := 0.0
+	var out []ScalabilityPoint
+	for n := 1; n <= maxPE; n++ {
+		cfg := fpga.PEConfig{Pipeline: fpga.MultiGranularity, SACS: fpga.SACSParal, NumPE: n}
+		cycles := sumCycles(cfg, traces)
+		seconds := cfg.Seconds(cycles)
+		if n == 1 {
+			base = seconds
+		}
+		res := fpga.Estimate(n)
+		uramRes, urams := fpga.EstimateURAM(n)
+		uramCfg := cfg
+		uramCfg.ClockMHz = fpga.URAMClockMHz
+		out = append(out, ScalabilityPoint{
+			NumPE:       n,
+			Speedup:     base / seconds,
+			Resources:   res,
+			FitsU50:     res.FitsIn(fpga.AlveoU50),
+			FitsURAM:    uramRes.FitsIn(fpga.AlveoU50) && urams <= fpga.U50URAMs,
+			URAMSpeedup: base / uramCfg.Seconds(cycles),
+		})
+	}
+	return out, nil
+}
+
+// RenderScalability renders the PE sweep.
+func RenderScalability(pts []ScalabilityPoint) *report.Table {
+	t := report.NewTable("Sec. 5.4 extension: FOP PE scaling (speedup vs 1 PE, resources)",
+		"PEs", "Speedup", "LUTs", "BRAMs", "Fits U50", "URAM speedup", "Fits w/ URAM")
+	for _, p := range pts {
+		t.Add(fmt.Sprint(p.NumPE), report.F(p.Speedup, 2),
+			fmt.Sprint(p.Resources.LUTs), fmt.Sprint(p.Resources.BRAMs),
+			fmt.Sprint(p.FitsU50),
+			report.F(p.URAMSpeedup, 2), fmt.Sprint(p.FitsURAM))
+	}
+	return t
+}
+
+// OrderingPoint is one row of the ordering ablation DESIGN.md calls out:
+// quality of the sliding-window ordering vs plain size ordering.
+type OrderingPoint struct {
+	Name        string
+	PlainAveDis float64
+	SWAveDis    float64
+	GainPct     float64 // positive = sliding window better
+}
+
+// OrderingAblation compares FLEX's quality with and without the
+// density-aware sliding-window ordering (Sec. 3.1.2's ~1% claim).
+func OrderingAblation(opt Options) ([]OrderingPoint, error) {
+	opt = opt.withDefaults()
+	var out []OrderingPoint
+	for _, spec := range opt.suite() {
+		l, err := spec.Generate(opt.Scale)
+		if err != nil {
+			return nil, err
+		}
+		plain := legalizeFlexOrdering(l, -1)
+		sw := legalizeFlexOrdering(l, 8)
+		gain := 0.0
+		if plain > 0 {
+			gain = (plain - sw) / plain * 100
+		}
+		out = append(out, OrderingPoint{
+			Name: spec.Name, PlainAveDis: plain, SWAveDis: sw, GainPct: gain,
+		})
+	}
+	return out, nil
+}
+
+// RenderOrdering renders the ordering ablation.
+func RenderOrdering(pts []OrderingPoint) *report.Table {
+	t := report.NewTable("Ordering ablation: sliding window (Sec. 3.1.2) vs size-only",
+		"Design", "Size-only AveDis", "SlidingWin AveDis", "Gain")
+	var sum float64
+	for _, p := range pts {
+		t.Add(p.Name, report.F(p.PlainAveDis, 4), report.F(p.SWAveDis, 4),
+			fmt.Sprintf("%+.2f%%", p.GainPct))
+		sum += p.GainPct
+	}
+	if len(pts) > 0 {
+		t.Add("Average", "", "", fmt.Sprintf("%+.2f%%", sum/float64(len(pts))))
+	}
+	return t
+}

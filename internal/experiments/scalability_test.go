@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalabilityMonotoneAndBRAMBound(t *testing.T) {
+	pts, err := Scalability(Options{Scale: 0.008, Designs: []string{"fft_a_md2"}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d, want 5", len(pts))
+	}
+	prev := 0.0
+	for _, p := range pts {
+		if p.Speedup < prev {
+			t.Fatalf("speedup not monotone at %d PEs: %v < %v", p.NumPE, p.Speedup, prev)
+		}
+		prev = p.Speedup
+	}
+	if pts[0].Speedup != 1 {
+		t.Fatalf("1-PE speedup %v, want 1", pts[0].Speedup)
+	}
+	// Two PEs land in the paper's near-linear band.
+	if pts[1].Speedup < 1.4 || pts[1].Speedup > 2.0 {
+		t.Fatalf("2-PE speedup %v outside [1.4, 2.0]", pts[1].Speedup)
+	}
+	// Diminishing returns: 5 PEs give less than 5x.
+	if pts[4].Speedup >= 5 {
+		t.Fatalf("5-PE speedup %v superlinear", pts[4].Speedup)
+	}
+	// Somewhere in the sweep the BRAM budget must run out (Sec. 5.4),
+	// while the URAM remap keeps fitting longer at a lower clock.
+	exhausted := false
+	for _, p := range pts {
+		if !p.FitsU50 {
+			exhausted = true
+			if !p.FitsURAM {
+				continue
+			}
+			// URAM rescues the config but pays the clock penalty.
+			if p.URAMSpeedup >= p.Speedup {
+				t.Fatalf("%d PEs: URAM clock penalty missing: %v vs %v",
+					p.NumPE, p.URAMSpeedup, p.Speedup)
+			}
+		}
+	}
+	if !exhausted {
+		t.Fatal("BRAM budget never exhausted in the sweep; extend maxPE")
+	}
+	out := RenderScalability(pts).String()
+	if !strings.Contains(out, "Fits U50") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestOrderingAblation(t *testing.T) {
+	pts, err := OrderingAblation(Options{Scale: 0.01, Designs: []string{"fft_2_md2", "pci_b_a_md2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.PlainAveDis <= 0 || p.SWAveDis <= 0 {
+			t.Fatalf("%s: missing quality values: %+v", p.Name, p)
+		}
+		// On designs this small the ordering delta is noisy; it must stay
+		// bounded, not necessarily positive (the paper's ~1% average gain
+		// only emerges at full scale).
+		if p.GainPct < -35 || p.GainPct > 35 {
+			t.Fatalf("%s: implausible ordering gain %v%%", p.Name, p.GainPct)
+		}
+	}
+	_ = RenderOrdering(pts).String()
+}

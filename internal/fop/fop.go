@@ -1,0 +1,387 @@
+// Package fop implements FOP — finding the optimal placement position —
+// the triple-loop bottleneck of the MGL algorithm (Sec. 2.3 of the FLEX
+// paper). For a target cell and its localRegion it enumerates every
+// insertion point (loop 1: candidate row spans; loop 2: slot partitions;
+// loop 3: the per-point operator chain), evaluates the summed displacement
+// curve of each point, and returns the position with minimum added
+// displacement.
+//
+// Per insertion point the operator chain is exactly the paper's: cell
+// shifting (chain offsets in sort-ahead form, optionally re-measured with
+// the original multi-pass algorithm for instrumentation), breakpoint
+// emission, and the sort/merge/sum-slopes/calculate-value pipeline from
+// internal/curve, in either the original five-operator or the restructured
+// streaming organization.
+package fop
+
+import (
+	"github.com/flex-eda/flex/internal/curve"
+	"github.com/flex-eda/flex/internal/geom"
+	"github.com/flex-eda/flex/internal/region"
+	"github.com/flex-eda/flex/internal/shift"
+)
+
+const negInf = -(1 << 50)
+
+// Target carries the target cell's placement-relevant attributes.
+type Target struct {
+	GX, GY    int // global-placement position
+	W, H      int
+	ParityOK  func(y int) bool // row-parity predicate
+	RowHeight int              // sites per row, for the vertical cost term
+}
+
+// Options selects the evaluation variants (the ablation axes of Figs. 5/6).
+type Options struct {
+	// Streamed selects the restructured fwdtraverse/bwdtraverse curve
+	// pipeline instead of the original five-operator sequence. Results are
+	// identical; only instrumentation differs.
+	Streamed bool
+	// MeasureOriginalShift additionally runs the original multi-pass
+	// shifting algorithm per insertion point (on scratch positions) so its
+	// pass counts are observable; positions are restored afterwards.
+	MeasureOriginalShift bool
+}
+
+// Candidate is a scored placement option for the target.
+type Candidate struct {
+	X, Y      int
+	Boundary2 int // slot boundary for the committing shift
+	Cost      int // added displacement in sites (incl. target's own)
+	Feasible  bool
+}
+
+// Better reports whether c beats o (lower cost; ties broken by lower x
+// then lower y for determinism).
+func (c Candidate) Better(o Candidate) bool {
+	if !c.Feasible {
+		return false
+	}
+	if !o.Feasible {
+		return true
+	}
+	if c.Cost != o.Cost {
+		return c.Cost < o.Cost
+	}
+	if c.Y != o.Y {
+		return c.Y < o.Y
+	}
+	return c.X < o.X
+}
+
+// Stats aggregates the per-operator work of one FOP invocation, the raw
+// material for every platform time model.
+type Stats struct {
+	CandidateRows   int
+	InsertionPoints int
+	ChainCells      int // cells visited by the offset sweeps (shift work)
+	// ChainVisitsByH counts sweep visits by cell height (index min(h, 4));
+	// the FPGA bandwidth model needs the multi-row access mix.
+	ChainVisitsByH [5]int
+	Shift          shift.Stats
+	Curve          curve.Stats
+	OriginalShift  shift.Stats // populated when MeasureOriginalShift is set
+}
+
+// Add accumulates other into st.
+func (st *Stats) Add(other *Stats) {
+	st.CandidateRows += other.CandidateRows
+	st.InsertionPoints += other.InsertionPoints
+	st.ChainCells += other.ChainCells
+	for i := range st.ChainVisitsByH {
+		st.ChainVisitsByH[i] += other.ChainVisitsByH[i]
+	}
+	addShift(&st.Shift, &other.Shift)
+	st.Curve.RawBps += other.Curve.RawBps
+	st.Curve.MergedBps += other.Curve.MergedBps
+	st.Curve.SortOps += other.Curve.SortOps
+	st.Curve.Traversal += other.Curve.Traversal
+	addShift(&st.OriginalShift, &other.OriginalShift)
+}
+
+func addShift(dst, src *shift.Stats) {
+	dst.Passes += src.Passes
+	dst.SubcellVisits += src.SubcellVisits
+	dst.Moves += src.Moves
+	dst.SortedCells += src.SortedCells
+	dst.SortOps += src.SortOps
+}
+
+// Best evaluates every insertion point in the region and returns the best
+// candidate. The region's cell positions are left untouched.
+func Best(reg *region.Region, t Target, opt Options, st *Stats) Candidate {
+	if st == nil {
+		st = &Stats{}
+	}
+	best := Candidate{Feasible: false}
+	win := reg.Window
+
+	// Ahead sort: one x-sort of the region's cells shared by every
+	// insertion point, mirroring the hardware's single per-region sorter.
+	order := xOrder(reg)
+	st.Shift.SortedCells += len(order)
+	if n := len(order); n > 1 {
+		logn := 0
+		for v := n; v > 1; v >>= 1 {
+			logn++
+		}
+		st.Shift.SortOps += n * logn
+	}
+
+	for y := win.Y; y+t.H <= win.Y+win.H; y++ {
+		if t.ParityOK != nil && !t.ParityOK(y) {
+			continue
+		}
+		// Target must fit the intersection of its rows' segments.
+		lo0, hi0 := negInf, 1<<50
+		ok := true
+		for row := y; row < y+t.H; row++ {
+			seg := reg.SegmentAt(row)
+			if seg == nil || seg.Len() < t.W {
+				ok = false
+				break
+			}
+			lo0 = geom.Max(lo0, seg.Lo)
+			hi0 = geom.Min(hi0, seg.Hi-t.W)
+		}
+		if !ok || lo0 > hi0 {
+			continue
+		}
+		st.CandidateRows++
+		vbase := t.RowHeight * geom.Abs(y-t.GY)
+
+		for _, b2 := range slotBoundaries(reg, y, t.H) {
+			st.InsertionPoints++
+			c := evalPoint(reg, order, t, y, b2, lo0, hi0, vbase, opt, st)
+			if c.Better(best) {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// slotBoundaries returns the doubled-x boundary values that induce every
+// distinct left/right partition of the cells in rows [y, y+h): one below
+// the smallest doubled center, then one at each distinct doubled center.
+func slotBoundaries(reg *region.Region, y, h int) []int {
+	ids := reg.CellsInRows(y, h)
+	if len(ids) == 0 {
+		return []int{0} // single empty partition; boundary value irrelevant
+	}
+	centers := make([]int, 0, len(ids))
+	for _, ci := range ids {
+		c := &reg.Cells[ci]
+		centers = append(centers, 2*c.X+c.W)
+	}
+	sortInts(centers)
+	out := make([]int, 0, len(centers)+1)
+	out = append(out, centers[0]-1)
+	for i, v := range centers {
+		if i > 0 && centers[i-1] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// evalPoint scores one insertion point: chain offsets (cell shifting in
+// sort-ahead form), hinge emission, and curve evaluation.
+func evalPoint(reg *region.Region, order []int, t Target, y, b2, lo0, hi0, vbase int, opt Options, st *Stats) Candidate {
+	type chainEntry struct {
+		ci int
+		o  int
+	}
+	inTargetRows := func(c *region.LocalCell) bool {
+		return c.Y < y+t.H && c.Y+c.H > y
+	}
+	isRight := func(c *region.LocalCell) bool {
+		return inTargetRows(c) && 2*c.X+c.W > b2
+	}
+	isLeft := func(c *region.LocalCell) bool {
+		return inTargetRows(c) && 2*c.X+c.W <= b2
+	}
+
+	st.Shift.Passes += 2 // one outward sweep per phase
+
+	nSeg := len(reg.Segments)
+	rowOff := make([]int, nSeg)
+
+	// Left sweep: descending x over left/none cells.
+	for i := range rowOff {
+		rowOff[i] = negInf
+	}
+	for row := y; row < y+t.H; row++ {
+		if si := row - reg.Window.Y; si >= 0 && si < nSeg {
+			rowOff[si] = 0
+		}
+	}
+	lo, hi := lo0, hi0
+	var left []chainEntry
+	inLeftChain := make(map[int]bool)
+	for k := len(order) - 1; k >= 0; k-- {
+		ci := order[k]
+		c := &reg.Cells[ci]
+		if isRight(c) {
+			continue
+		}
+		o := negInf
+		for row := c.Y; row < c.Y+c.H; row++ {
+			si := row - reg.Window.Y
+			if si >= 0 && si < nSeg && rowOff[si] > o {
+				o = rowOff[si]
+			}
+		}
+		st.Shift.SubcellVisits += c.H
+		st.ChainCells++
+		st.ChainVisitsByH[minInt(c.H, 4)]++
+		if o == negInf {
+			continue
+		}
+		o += c.W
+		for row := c.Y; row < c.Y+c.H; row++ {
+			si := row - reg.Window.Y
+			if si >= 0 && si < nSeg {
+				if o > rowOff[si] {
+					rowOff[si] = o
+				}
+				seg := &reg.Segments[si]
+				if v := seg.Lo + o; v > lo {
+					lo = v // pushed cell must stay inside its segment
+				}
+			}
+		}
+		left = append(left, chainEntry{ci, o})
+		inLeftChain[ci] = true
+	}
+
+	// Right sweep: ascending x over right/none cells.
+	for i := range rowOff {
+		rowOff[i] = negInf
+	}
+	for row := y; row < y+t.H; row++ {
+		if si := row - reg.Window.Y; si >= 0 && si < nSeg {
+			rowOff[si] = t.W
+		}
+	}
+	var right []chainEntry
+	for k := 0; k < len(order); k++ {
+		ci := order[k]
+		c := &reg.Cells[ci]
+		if isLeft(c) || inLeftChain[ci] {
+			// Cells already claimed by the left chain cannot be squeezed
+			// from both sides; the left chain takes precedence.
+			continue
+		}
+		o := negInf
+		for row := c.Y; row < c.Y+c.H; row++ {
+			si := row - reg.Window.Y
+			if si >= 0 && si < nSeg && rowOff[si] > o {
+				o = rowOff[si]
+			}
+		}
+		st.Shift.SubcellVisits += c.H
+		st.ChainCells++
+		st.ChainVisitsByH[minInt(c.H, 4)]++
+		if o == negInf {
+			continue
+		}
+		for row := c.Y; row < c.Y+c.H; row++ {
+			si := row - reg.Window.Y
+			if si >= 0 && si < nSeg {
+				if v := o + c.W; v > rowOff[si] {
+					rowOff[si] = v
+				}
+				seg := &reg.Segments[si]
+				if v := seg.Hi - c.W - o; v < hi {
+					hi = v
+				}
+			}
+		}
+		right = append(right, chainEntry{ci, o})
+	}
+
+	if lo > hi {
+		return Candidate{Feasible: false}
+	}
+
+	// Optional instrumentation: run the original multi-pass shifting on
+	// scratch positions to observe its pass structure.
+	if opt.MeasureOriginalShift {
+		measureOriginal(reg, t, y, b2, lo, hi, st)
+	}
+
+	// Hinge emission: target V plus delta hinges for every chained cell.
+	bps := make([]curve.Breakpoint, 0, 1+2*(len(left)+len(right)))
+	bps = append(bps, curve.VHinge(t.GX, vbase))
+	for _, e := range left {
+		c := &reg.Cells[e.ci]
+		hs := curve.HingesForPushLeft(c.X, c.GX, c.X+e.o)
+		hs[0].Base = 0 // delta relative to the cell's current displacement
+		bps = append(bps, hs...)
+	}
+	for _, e := range right {
+		c := &reg.Cells[e.ci]
+		hs := curve.HingesForPush(c.X, c.GX, c.X-e.o)
+		hs[0].Base = 0
+		bps = append(bps, hs...)
+	}
+
+	var res curve.Result
+	if opt.Streamed {
+		res = curve.EvalStreamed(bps, lo, hi, &st.Curve)
+	} else {
+		res = curve.EvalOriginal(bps, lo, hi, &st.Curve)
+	}
+	if !res.Feasible {
+		return Candidate{Feasible: false}
+	}
+	return Candidate{X: res.BestX, Y: y, Boundary2: b2, Cost: res.BestVal, Feasible: true}
+}
+
+// measureOriginal runs shift.Original at the clamped preferred position on
+// scratch positions, accumulating its stats, then restores the region.
+func measureOriginal(reg *region.Region, t Target, y, b2, lo, hi int, st *Stats) {
+	x0 := geom.Min(geom.Max(t.GX, lo), hi)
+	saved := make([]int, len(reg.Cells))
+	for i := range reg.Cells {
+		saved[i] = reg.Cells[i].X
+	}
+	p := shift.Placement{TX: x0, TY: y, TW: t.W, TH: t.H, Boundary2: b2}
+	shift.Original(reg, p, &st.OriginalShift)
+	for i := range reg.Cells {
+		reg.Cells[i].X = saved[i]
+	}
+	reg.SortSegmentCells()
+}
+
+// xOrder returns region cell indices sorted ascending by current x.
+func xOrder(reg *region.Region) []int {
+	order := make([]int, len(reg.Cells))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort: region cell counts are small and mostly pre-sorted.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && reg.Cells[order[j]].X < reg.Cells[order[j-1]].X; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

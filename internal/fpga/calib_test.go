@@ -1,0 +1,34 @@
+package fpga
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/flex-eda/flex/internal/fop"
+)
+
+// TestCalibrationReport prints the ladder on a real-shaped trace mix; used
+// for tuning, kept as living documentation of the calibration workload.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration report")
+	}
+	_ = fop.Stats{}
+	traces := []Trace{
+		{Points: 33, SortedCells: 25, ChainSubcells: 700, VisitsByH: [5]int{0, 380, 130, 60, 30}, OrigSubcells: 1680, RawBps: 260, MergedBps: 200},
+		{Points: 8, SortedCells: 8, ChainSubcells: 90, VisitsByH: [5]int{0, 60, 15, 5, 0}, OrigSubcells: 216, RawBps: 50, MergedBps: 40},
+	}
+	sum := func(cfg PEConfig) float64 {
+		var tot float64
+		for _, tr := range traces {
+			tot += cfg.RegionCycles(tr)
+		}
+		return tot
+	}
+	base := sum(PEConfig{Pipeline: NormalPipeline, SACS: ShiftOriginal, NumPE: 1})
+	sacs := sum(PEConfig{Pipeline: NormalPipeline, SACS: SACSParal, NumPE: 1})
+	mg := sum(PEConfig{Pipeline: MultiGranularity, SACS: SACSParal, NumPE: 1})
+	mg2 := sum(PEConfig{Pipeline: MultiGranularity, SACS: SACSParal, NumPE: 2})
+	fmt.Printf("SACS %.2f MG %.2f (step %.2f) 2PE %.2f (step %.2f)\n",
+		base/sacs, base/mg, sacs/mg, base/mg2, mg/mg2)
+}

@@ -1,0 +1,107 @@
+// Package fpga is a cycle-approximate model of the FLEX accelerator fabric
+// (Figs. 4, 5 and 7 of the paper): BRAM banks with limited ports, the
+// insertion/merge ahead-sorter, the SACS processing element with its
+// bandwidth optimizations, the FOP PE cluster with normal vs
+// multi-granularity pipelining, and an Alveo-U50-class resource estimator.
+//
+// The models consume the operation traces the software legalizer records
+// (internal/fop, internal/mgl) and price them in clock cycles. They aim to
+// reproduce the paper's *relative* effects — the speedup ladders of Figs. 8
+// and 9 and the resource table (Table 2) — not RTL-exact timing.
+package fpga
+
+import "math"
+
+// DefaultClockMHz is the paper's Alveo U50 kernel clock.
+const DefaultClockMHz = 285.0
+
+// Clock converts cycles to seconds at a given frequency.
+type Clock struct {
+	MHz float64
+}
+
+// Seconds converts a cycle count to seconds.
+func (c Clock) Seconds(cycles float64) float64 {
+	mhz := c.MHz
+	if mhz <= 0 {
+		mhz = DefaultClockMHz
+	}
+	return cycles / (mhz * 1e6)
+}
+
+// BRAM models one logical memory built from block RAMs: a number of
+// read ports, optional odd/even row banking, and an optional double-rate
+// clock domain. AccessCycles answers "how many cycles to read these rows in
+// one request", the quantity that gates multi-row-cell handling (Sec. 4.3.2).
+type BRAM struct {
+	ReadPorts  int  // ports per bank (2 for Xilinx TDP BRAM)
+	OddEven    bool // rows split into odd/even banks (doubles row bandwidth)
+	DoubleRate bool // memory clocked at 2× the PE (halves effective cycles)
+}
+
+// AccessCycles returns the PE cycles needed to read the given row indices.
+func (b BRAM) AccessCycles(rows []int) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	ports := b.ReadPorts
+	if ports <= 0 {
+		ports = 1
+	}
+	var cycles int
+	if b.OddEven {
+		odd, even := 0, 0
+		for _, r := range rows {
+			if r%2 == 0 {
+				even++
+			} else {
+				odd++
+			}
+		}
+		cycles = maxI(ceilDiv(odd, ports), ceilDiv(even, ports))
+	} else {
+		cycles = ceilDiv(len(rows), ports)
+	}
+	if b.DoubleRate {
+		cycles = ceilDiv(cycles, 2)
+	}
+	if cycles < 1 {
+		cycles = 1
+	}
+	return cycles
+}
+
+// SorterCycles models the combined insertion/merge ahead-sorter
+// (Sec. 4.3.1): a streaming insertion sorter absorbs one element per cycle
+// for short runs; longer inputs pay merge passes at four elements per cycle
+// per pass.
+func SorterCycles(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	const insertionWindow = 16
+	cycles := float64(n) // streaming absorption, II=1
+	if n > insertionWindow {
+		passes := math.Ceil(math.Log2(float64(n) / insertionWindow))
+		cycles += float64(n) * passes / 4
+	}
+	return cycles
+}
+
+// StreamFill is the pipeline fill latency charged when a streaming operator
+// chain starts up.
+const StreamFill = 8.0
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,236 @@
+package fpga
+
+import (
+	"testing"
+
+	"github.com/flex-eda/flex/internal/fop"
+)
+
+func TestClock(t *testing.T) {
+	c := Clock{MHz: 285}
+	if got := c.Seconds(285e6); got < 0.999 || got > 1.001 {
+		t.Fatalf("285M cycles at 285MHz = %v s, want 1", got)
+	}
+	if (Clock{}).Seconds(285e6) != c.Seconds(285e6) {
+		t.Fatal("zero clock must default to 285 MHz")
+	}
+}
+
+func TestBRAMAccessCycles(t *testing.T) {
+	plain := BRAM{ReadPorts: 2}
+	// Four adjacent rows, 2 ports: two cycles.
+	if got := plain.AccessCycles([]int{0, 1, 2, 3}); got != 2 {
+		t.Fatalf("plain 4 rows = %d cycles, want 2", got)
+	}
+	banked := BRAM{ReadPorts: 2, OddEven: true}
+	// Odd-even banking: 2 odd + 2 even rows served in one cycle
+	// ("accessing four adjacent cells ... now takes a single cycle").
+	if got := banked.AccessCycles([]int{0, 1, 2, 3}); got != 1 {
+		t.Fatalf("banked 4 rows = %d cycles, want 1", got)
+	}
+	fast := BRAM{ReadPorts: 2, DoubleRate: true}
+	if got := fast.AccessCycles([]int{0, 1, 2, 3}); got != 1 {
+		t.Fatalf("double-rate 4 rows = %d cycles, want 1", got)
+	}
+	if got := plain.AccessCycles(nil); got != 0 {
+		t.Fatalf("empty access = %d, want 0", got)
+	}
+	if got := plain.AccessCycles([]int{5}); got != 1 {
+		t.Fatalf("single access = %d, want 1", got)
+	}
+}
+
+func TestSorterCycles(t *testing.T) {
+	if SorterCycles(0) != 1 || SorterCycles(1) != 1 {
+		t.Fatal("degenerate sorter cycles wrong")
+	}
+	if SorterCycles(16) != 16 {
+		t.Fatalf("16-element insertion sort = %v, want 16", SorterCycles(16))
+	}
+	// Longer inputs pay merge passes, superlinear but far below n log n.
+	if SorterCycles(256) <= 256 || SorterCycles(256) > 256*4 {
+		t.Fatalf("256-element sort = %v cycles, implausible", SorterCycles(256))
+	}
+}
+
+// sample returns a representative region trace, matching the per-region
+// averages measured on a real 1200-cell, 70%-density legalization run
+// (see the calibration test below).
+func sample() Trace {
+	return Trace{
+		Points:        33,
+		SortedCells:   20,
+		ChainSubcells: 1980,
+		VisitsByH:     [5]int{0, 1070, 287, 86, 19},
+		OrigSubcells:  4753,
+		RawBps:        381,
+		MergedBps:     215,
+		CommitMoved:   12,
+	}
+}
+
+func TestFig8LadderOrdering(t *testing.T) {
+	tr := sample()
+	normal := PEConfig{Pipeline: NormalPipeline, SACS: ShiftOriginal, NumPE: 1}
+	sacs := PEConfig{Pipeline: NormalPipeline, SACS: SACSParal, NumPE: 1}
+	mg := PEConfig{Pipeline: MultiGranularity, SACS: SACSParal, NumPE: 1}
+	mg2 := PEConfig{Pipeline: MultiGranularity, SACS: SACSParal, NumPE: 2}
+
+	c0 := normal.RegionCycles(tr)
+	c1 := sacs.RegionCycles(tr)
+	c2 := mg.RegionCycles(tr)
+	c3 := mg2.RegionCycles(tr)
+	if !(c0 > c1 && c1 > c2 && c2 > c3) {
+		t.Fatalf("ladder not monotone: %v > %v > %v > %v expected", c0, c1, c2, c3)
+	}
+	// Paper bands: SACS 2–3×, multi-granularity an extra 1–2×, 2 PEs
+	// 1.6–1.9×.
+	if s := c0 / c1; s < 1.8 || s > 3.5 {
+		t.Fatalf("SACS speedup %v outside [1.8, 3.5]", s)
+	}
+	if s := c1 / c2; s < 1.0 || s > 2.5 {
+		t.Fatalf("multi-granularity speedup %v outside [1.0, 2.5]", s)
+	}
+	if s := c2 / c3; s < 1.4 || s > 2.0 {
+		t.Fatalf("2-PE speedup %v outside [1.4, 2.0]", s)
+	}
+}
+
+func TestFig9BandwidthGainTracksTallCells(t *testing.T) {
+	short := sample()
+	short.VisitsByH = [5]int{0, 600, 120, 50, 0} // no cells taller than 3 rows
+	tall := sample()
+	tall.VisitsByH = [5]int{0, 400, 120, 50, 200} // many 4-row cells
+
+	ar := PEConfig{Pipeline: NormalPipeline, SACS: SACSArch, NumPE: 1}
+	bw := PEConfig{Pipeline: NormalPipeline, SACS: SACSImpBW, NumPE: 1}
+
+	// No tall cells: ImpBW must give no speedup at all.
+	if a, b := ar.RegionCycles(short), bw.RegionCycles(short); a != b {
+		t.Fatalf("ImpBW changed cycles without tall cells: %v vs %v", a, b)
+	}
+	// Tall cells: ImpBW must strictly help.
+	if a, b := ar.RegionCycles(tall), bw.RegionCycles(tall); b >= a {
+		t.Fatalf("ImpBW did not help with tall cells: %v vs %v", a, b)
+	}
+}
+
+func TestFig9LadderOrdering(t *testing.T) {
+	tr := sample()
+	prev := -1.0
+	for _, lvl := range []SACSLevel{SACSBase, SACSArch, SACSImpBW, SACSParal} {
+		cfg := PEConfig{Pipeline: NormalPipeline, SACS: lvl, NumPE: 1}
+		c := cfg.RegionCycles(tr)
+		if prev > 0 && c > prev {
+			t.Fatalf("SACS ladder not monotone at level %d: %v > %v", lvl, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestTwoPENeverSlower(t *testing.T) {
+	for _, tr := range []Trace{sample(), {Points: 1, SortedCells: 4, ChainSubcells: 8, RawBps: 10, MergedBps: 8}} {
+		one := PEConfig{Pipeline: MultiGranularity, SACS: SACSParal, NumPE: 1}
+		two := PEConfig{Pipeline: MultiGranularity, SACS: SACSParal, NumPE: 2}
+		if two.RegionCycles(tr) > one.RegionCycles(tr) {
+			t.Fatalf("2 PEs slower than 1 on %+v", tr)
+		}
+	}
+}
+
+func TestTraceFromFOP(t *testing.T) {
+	var st fop.Stats
+	st.InsertionPoints = 5
+	st.Shift.SortedCells = 10
+	st.Shift.SubcellVisits = 100
+	st.ChainVisitsByH = [5]int{0, 60, 20, 10, 10}
+	st.Curve.RawBps = 50
+	st.Curve.MergedBps = 30
+	tr := TraceFromFOP(st, 7)
+	if tr.Points != 5 || tr.SortedCells != 10 || tr.ChainSubcells != 100 ||
+		tr.RawBps != 50 || tr.MergedBps != 30 || tr.CommitMoved != 7 {
+		t.Fatalf("trace conversion wrong: %+v", tr)
+	}
+	if tr.OrigSubcells != int(100*OrigPassInflation) {
+		t.Fatalf("orig estimate %d", tr.OrigSubcells)
+	}
+	st.OriginalShift.SubcellVisits = 777
+	tr = TraceFromFOP(st, 0)
+	if tr.OrigSubcells != 777 {
+		t.Fatal("measured original visits must take precedence")
+	}
+}
+
+func TestResourceTable2(t *testing.T) {
+	one := Estimate(1)
+	two := Estimate(2)
+	wantOne := Resources{LUTs: 59837, FFs: 67326, BRAMs: 391, DSPs: 8}
+	wantTwo := Resources{LUTs: 86632, FFs: 91603, BRAMs: 738, DSPs: 12}
+	if one != wantOne {
+		t.Fatalf("1-PE estimate %v, want %v", one, wantOne)
+	}
+	if two != wantTwo {
+		t.Fatalf("2-PE estimate %v, want %v", two, wantTwo)
+	}
+	if !two.FitsIn(AlveoU50) {
+		t.Fatal("2-PE config must fit the U50")
+	}
+	// Doubling PEs costs less than 2× LUT/FF because the sorter and
+	// control modules are shared (Sec. 5.4).
+	if two.LUTs >= 2*one.LUTs || two.FFs >= 2*one.FFs {
+		t.Fatal("shared modules not reflected in scaling")
+	}
+}
+
+func TestMaxPEsBRAMBound(t *testing.T) {
+	n := MaxPEs(AlveoU50)
+	if n < 2 {
+		t.Fatalf("MaxPEs = %d, want >= 2", n)
+	}
+	// BRAM must be the binding resource at the limit (Sec. 5.4).
+	at := Estimate(n)
+	next := Estimate(n + 1)
+	if next.BRAMs <= AlveoU50.BRAMs {
+		t.Fatalf("expected BRAM to bind: n=%d at=%v next=%v", n, at, next)
+	}
+	if !at.FitsIn(AlveoU50) {
+		t.Fatal("Estimate(MaxPEs) must fit")
+	}
+}
+
+func TestURAMExtendsScaling(t *testing.T) {
+	bram := MaxPEs(AlveoU50)
+	uram := MaxPEsURAM(AlveoU50, U50URAMs)
+	if uram <= bram {
+		t.Fatalf("URAM remap should allow more PEs: %d vs %d", uram, bram)
+	}
+	res, urams := EstimateURAM(uram)
+	if !res.FitsIn(AlveoU50) || urams > U50URAMs {
+		t.Fatalf("EstimateURAM(%d) does not fit: %v, %d URAMs", uram, res, urams)
+	}
+	// The clock penalty makes per-cycle time worse; a URAM-clocked config
+	// must price the same cycles slower.
+	fast := PEConfig{Pipeline: MultiGranularity, SACS: SACSParal, NumPE: 2}
+	slow := fast
+	slow.ClockMHz = URAMClockMHz
+	if slow.Seconds(1e6) <= fast.Seconds(1e6) {
+		t.Fatal("URAM clock penalty not reflected")
+	}
+}
+
+func TestCommitCycles(t *testing.T) {
+	cfg := DefaultPE
+	if cfg.CommitCycles(Trace{CommitMoved: 0}) <= 0 {
+		t.Fatal("commit cycles must include fill")
+	}
+	if cfg.CommitCycles(Trace{CommitMoved: 10}) <= cfg.CommitCycles(Trace{CommitMoved: 1}) {
+		t.Fatal("commit cycles must grow with moved cells")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var tr Trace
+	if c := DefaultPE.RegionCycles(tr); c <= 0 {
+		t.Fatalf("empty trace cycles = %v, want > 0", c)
+	}
+}

@@ -1,0 +1,133 @@
+package fpga
+
+import "fmt"
+
+// Resources is one module's (or configuration's) FPGA footprint.
+type Resources struct {
+	LUTs, FFs, BRAMs, DSPs int
+}
+
+// Add returns the sum of two footprints.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{r.LUTs + o.LUTs, r.FFs + o.FFs, r.BRAMs + o.BRAMs, r.DSPs + o.DSPs}
+}
+
+// Scale returns the footprint multiplied by n.
+func (r Resources) Scale(n int) Resources {
+	return Resources{r.LUTs * n, r.FFs * n, r.BRAMs * n, r.DSPs * n}
+}
+
+// FitsIn reports whether r fits within the available budget.
+func (r Resources) FitsIn(avail Resources) bool {
+	return r.LUTs <= avail.LUTs && r.FFs <= avail.FFs && r.BRAMs <= avail.BRAMs && r.DSPs <= avail.DSPs
+}
+
+func (r Resources) String() string {
+	return fmt.Sprintf("LUT=%d FF=%d BRAM=%d DSP=%d", r.LUTs, r.FFs, r.BRAMs, r.DSPs)
+}
+
+// AlveoU50 is the available budget of the paper's board (Table 2 bottom row).
+var AlveoU50 = Resources{LUTs: 871680, FFs: 1743360, BRAMs: 1344, DSPs: 5952}
+
+// Module is a named component of the accelerator with its footprint and
+// whether it is replicated per FOP PE or shared across the cluster.
+type Module struct {
+	Name   string
+	PerPE  bool
+	Budget Resources
+}
+
+// Modules returns the architectural breakdown of Fig. 4, calibrated so the
+// 1-PE and 2-PE totals match the paper's Table 2 exactly. The ahead sorter,
+// controller, insertion-point module, synchronization module and collector
+// are shared; the SACS PE, the two traversal PEs and the per-PE table RAM
+// replicate with the PE count (which is why doubling the PEs costs less
+// than 2× in LUT/FF).
+func Modules() []Module {
+	return []Module{
+		{Name: "controller", PerPE: false, Budget: Resources{7042, 11049, 6, 0}},
+		{Name: "insertion-point-module", PerPE: false, Budget: Resources{10000, 13000, 22, 2}},
+		{Name: "ahead-sorter", PerPE: false, Budget: Resources{9000, 10000, 12, 2}},
+		{Name: "synchronization-module", PerPE: false, Budget: Resources{3000, 4000, 2, 0}},
+		{Name: "collector", PerPE: false, Budget: Resources{4000, 5000, 2, 0}},
+		{Name: "sacs-pe", PerPE: true, Budget: Resources{12000, 11000, 120, 2}},
+		{Name: "fwdt-pe", PerPE: true, Budget: Resources{5500, 5200, 40, 1}},
+		{Name: "bwdt-pe", PerPE: true, Budget: Resources{5500, 5200, 40, 1}},
+		{Name: "pe-tables (LCT/LCPT/CST/LSC)", PerPE: true, Budget: Resources{3795, 2877, 147, 0}},
+	}
+}
+
+// Estimate returns the total footprint of a cluster with numPE FOP PEs.
+func Estimate(numPE int) Resources {
+	if numPE < 1 {
+		numPE = 1
+	}
+	var total Resources
+	for _, m := range Modules() {
+		if m.PerPE {
+			total = total.Add(m.Budget.Scale(numPE))
+		} else {
+			total = total.Add(m.Budget)
+		}
+	}
+	return total
+}
+
+// MaxPEs returns how many FOP PEs fit in the available budget — the
+// scalability headroom discussed in Sec. 5.4 (BRAM binds first; URAM would
+// extend it at a clock penalty).
+func MaxPEs(avail Resources) int {
+	n := 1
+	for Estimate(n + 1).FitsIn(avail) {
+		n++
+	}
+	return n
+}
+
+// URAM remapping (Sec. 5.4's "this can be addressed by using URAM with a
+// slight FPGA clock frequency penalty"): the U50 carries 640 URAM blocks;
+// each URAM block substitutes for about four BRAM-equivalent table blocks,
+// and the deeper cascades cost clock headroom.
+const (
+	// U50URAMs is the board's UltraRAM block count.
+	U50URAMs = 640
+	// uramPerBRAM is how many BRAM-equivalents one URAM block replaces.
+	uramPerBRAM = 4
+	// URAMClockMHz is the de-rated kernel clock once URAM cascades sit on
+	// the table paths.
+	URAMClockMHz = 250.0
+)
+
+// EstimateURAM returns the footprint of a cluster whose per-PE tables are
+// remapped to URAM, and the number of URAM blocks used. LUT/FF/DSP are
+// unchanged; the BRAM column keeps only the shared-module blocks.
+func EstimateURAM(numPE int) (Resources, int) {
+	if numPE < 1 {
+		numPE = 1
+	}
+	var total Resources
+	urams := 0
+	for _, m := range Modules() {
+		if m.PerPE {
+			b := m.Budget
+			urams += (b.BRAMs*numPE + uramPerBRAM - 1) / uramPerBRAM
+			b.BRAMs = 0
+			total = total.Add(b.Scale(numPE))
+		} else {
+			total = total.Add(m.Budget)
+		}
+	}
+	return total, urams
+}
+
+// MaxPEsURAM returns how many FOP PEs fit once per-PE tables move to URAM.
+func MaxPEsURAM(avail Resources, availURAM int) int {
+	n := 1
+	for {
+		res, urams := EstimateURAM(n + 1)
+		if !res.FitsIn(avail) || urams > availURAM {
+			return n
+		}
+		n++
+	}
+}

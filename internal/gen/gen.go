@@ -1,0 +1,387 @@
+// Package gen synthesizes mixed-cell-height legalization benchmarks shaped
+// like the IC/CAD 2017 contest suite the FLEX paper evaluates on (Table 1).
+//
+// The real contest files are not redistributable, so each design is rebuilt
+// from its published statistics: cell count, design density, and a
+// mixed-height distribution chosen to match the paper's per-design
+// observations (e.g. Fig. 9 notes that des_perf_1, des_perf_a_md1 and
+// des_perf_b_md1 contain no cells taller than three rows, while
+// pci_b_a_md2 has the highest share of such cells).
+//
+// Generation is a two-phase process: first a *legal* layout is packed onto
+// the row grid at the requested density (so a legal solution is known to
+// exist), then every cell's global-placement position is perturbed by
+// Gaussian noise, producing the overlapping "global placement" input a
+// legalizer must repair. The distance to the hidden legal solution bounds
+// the achievable displacement, which keeps AveDis in the same regime as the
+// paper's Table 1.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/flex-eda/flex/internal/model"
+)
+
+// Spec describes one synthetic benchmark.
+type Spec struct {
+	Name          string
+	NumCells      int        // movable cells at scale 1.0
+	TargetDensity float64    // movable area / free area (Table 1 "Den.")
+	HeightMix     [4]float64 // fraction of cells with height 1..4 rows
+	Seed          int64      // RNG seed; same seed → identical layout
+	BlockageFrac  float64    // fraction of die area covered by fixed stripes
+	PerturbX      float64    // global-placement noise sigma, in sites
+	PerturbY      float64    // global-placement noise sigma, in rows
+	ToughFrac     float64    // fraction of extra-wide "tough" cells
+}
+
+// TallFraction returns the configured fraction of cells taller than three
+// rows (the gray series in the paper's Fig. 9).
+func (s Spec) TallFraction() float64 { return s.HeightMix[3] }
+
+// Generate builds the global-placement layout for the spec at the given
+// scale factor (1.0 = the paper's cell count). The returned layout generally
+// contains overlaps; the hidden legal packing it was derived from guarantees
+// a legal solution exists within the perturbation distance.
+func (s Spec) Generate(scale float64) (*model.Layout, error) {
+	l, err := s.GenerateLegal(scale)
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(s.Seed ^ 0x5eed))
+	for i := range l.Cells {
+		c := &l.Cells[i]
+		if c.Fixed {
+			continue
+		}
+		dx := int(math.Round(r.NormFloat64() * s.PerturbX))
+		dy := int(math.Round(r.NormFloat64() * s.PerturbY))
+		gx := clamp(c.X+dx, 0, l.NumSitesX-c.W)
+		gy := clamp(c.Y+dy, 0, l.NumRows-c.H)
+		c.GX, c.GY = gx, gy
+		c.X, c.Y = gx, gy
+	}
+	return l, nil
+}
+
+// GenerateLegal builds the hidden legal packing for the spec (no overlaps,
+// parity-aligned). It is exported because tests and baselines need a known
+// legal layout.
+func (s Spec) GenerateLegal(scale float64) (*model.Layout, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("gen: scale must be positive, got %v", scale)
+	}
+	n := int(math.Round(float64(s.NumCells) * scale))
+	if n < 16 {
+		n = 16
+	}
+	r := rand.New(rand.NewSource(s.Seed))
+
+	heights := sampleHeights(r, n, s.HeightMix)
+	widths := make([]int, n)
+	var area int
+	for i, h := range heights {
+		w := cellWidth(r, h)
+		if s.ToughFrac > 0 && r.Float64() < s.ToughFrac {
+			w += 8 + r.Intn(16) // extra-wide "tough" cell
+		}
+		widths[i] = w
+		area += w * h
+	}
+
+	density := s.TargetDensity
+	if density <= 0 || density >= 0.97 {
+		return nil, fmt.Errorf("gen: density %v out of range (0, 0.97)", density)
+	}
+	free := float64(area) / density
+	dieArea := free / (1 - s.BlockageFrac)
+	// Physically roughly square die: a row is about 8 sites tall.
+	numRows := int(math.Ceil(math.Sqrt(dieArea / 8.0)))
+	if numRows%2 != 0 {
+		numRows++
+	}
+	if numRows < 8 {
+		numRows = 8
+	}
+	numSites := int(math.Ceil(dieArea / float64(numRows)))
+
+	for attempt := 0; ; attempt++ {
+		l, ok := pack(r, s, n, heights, widths, numSites, numRows)
+		if ok {
+			l.Name = s.Name
+			return l, nil
+		}
+		if attempt >= 4 {
+			return nil, fmt.Errorf("gen: could not pack %s at density %.2f", s.Name, density)
+		}
+		numSites = numSites + numSites/10 + 1 // widen and retry
+	}
+}
+
+// pack lays the cells out legally on a die of the given size. Fixed
+// full-height blockage stripes split every row into identical segments; the
+// cells are skyline-packed into those segments with exponential gaps tuned
+// to the target density.
+func pack(r *rand.Rand, s Spec, n int, heights, widths []int, numSites, numRows int) (*model.Layout, bool) {
+	l := &model.Layout{
+		Name:      s.Name,
+		NumSitesX: numSites,
+		NumRows:   numRows,
+		RowHeight: 8,
+	}
+
+	segs := blockageSegments(r, s, l)
+
+	// Sort cell indices by descending height so multi-row cells pack while
+	// per-row cursors are still aligned, keeping waste low at high density.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return heights[order[a]] > heights[order[b]] })
+
+	// Per-segment, per-row skyline cursors.
+	cursors := make([][]int, len(segs))
+	for i := range cursors {
+		cursors[i] = make([]int, numRows)
+		for y := range cursors[i] {
+			cursors[i][y] = segs[i].lo
+		}
+	}
+	segWeight := make([]float64, len(segs))
+	total := 0.0
+	for i, sg := range segs {
+		total += float64(sg.hi - sg.lo)
+		segWeight[i] = total
+	}
+
+	meanGap := (1/s.TargetDensity - 1) * 4.0 // 4 ≈ mean cell width in sites
+	movable := make([]model.Cell, 0, n)
+
+	for _, idx := range order {
+		w, h := widths[idx], heights[idx]
+		placed := false
+		// Pick a segment weighted by width, then a parity-legal row whose
+		// skyline base is lowest among a handful of random tries.
+		for segTry := 0; segTry < len(segs)*2 && !placed; segTry++ {
+			si := pickSegment(r, segWeight, total)
+			sg := segs[si]
+			if sg.hi-sg.lo < w {
+				continue
+			}
+			bestY, bestBase := -1, math.MaxInt
+			tries := 12
+			for t := 0; t < tries; t++ {
+				y := randomLegalRow(r, h, numRows)
+				if y < 0 {
+					continue
+				}
+				base := maxCursor(cursors[si], y, h)
+				if base < bestBase {
+					bestBase, bestY = base, y
+				}
+			}
+			if bestY < 0 {
+				continue
+			}
+			gap := int(r.ExpFloat64() * meanGap)
+			if lim := int(3 * meanGap); gap > lim {
+				gap = lim
+			}
+			x := bestBase + gap
+			if x+w > sg.hi {
+				x = bestBase // drop the gap under pressure
+			}
+			if x+w > sg.hi {
+				continue
+			}
+			movable = append(movable, model.Cell{
+				Name: fmt.Sprintf("c%d", idx), X: x, Y: bestY, GX: x, GY: bestY,
+				W: w, H: h, Parity: parityFor(h),
+			})
+			setCursor(cursors[si], bestY, h, x+w)
+			placed = true
+		}
+		if !placed {
+			// Exhaustive fallback: scan every segment and row.
+			for si, sg := range segs {
+				if placed || sg.hi-sg.lo < w {
+					continue
+				}
+				for y := 0; y+h <= numRows && !placed; y++ {
+					if !parityFor(h).AllowsRow(y) {
+						continue
+					}
+					base := maxCursor(cursors[si], y, h)
+					if base+w <= sg.hi {
+						movable = append(movable, model.Cell{
+							Name: fmt.Sprintf("c%d", idx), X: base, Y: y, GX: base, GY: y,
+							W: w, H: h, Parity: parityFor(h),
+						})
+						setCursor(cursors[si], y, h, base+w)
+						placed = true
+					}
+				}
+			}
+		}
+		if !placed {
+			return nil, false
+		}
+	}
+	l.Cells = append(l.Cells, movable...)
+	for i := range l.Cells {
+		l.Cells[i].ID = i
+	}
+	return l, true
+}
+
+type segment struct{ lo, hi int }
+
+// blockageSegments places full-height fixed stripes and returns the free
+// x segments between them (identical for every row).
+func blockageSegments(r *rand.Rand, s Spec, l *model.Layout) []segment {
+	if s.BlockageFrac <= 0 {
+		return []segment{{0, l.NumSitesX}}
+	}
+	blockArea := s.BlockageFrac * float64(l.NumSitesX) * float64(l.NumRows)
+	stripeW := l.NumSitesX / 40
+	if stripeW < 2 {
+		stripeW = 2
+	}
+	nStripes := int(blockArea / float64(stripeW*l.NumRows))
+	if nStripes < 1 {
+		nStripes = 1
+	}
+	if nStripes > 6 {
+		nStripes = 6
+		stripeW = int(blockArea / float64(nStripes*l.NumRows))
+	}
+	// Spread stripes at jittered, non-overlapping x positions.
+	var xs []int
+	step := l.NumSitesX / (nStripes + 1)
+	for i := 1; i <= nStripes; i++ {
+		x := i*step + r.Intn(step/4+1) - step/8
+		x = clamp(x, stripeW, l.NumSitesX-2*stripeW)
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	var segs []segment
+	prev := 0
+	for i, x := range xs {
+		if x < prev { // jitter collision: skip stripe
+			continue
+		}
+		l.Cells = append(l.Cells, model.Cell{
+			ID: len(l.Cells), Name: fmt.Sprintf("blk%d", i),
+			X: x, Y: 0, GX: x, GY: 0, W: stripeW, H: l.NumRows,
+			Parity: model.ParityAny, Fixed: true,
+		})
+		if x > prev {
+			segs = append(segs, segment{prev, x})
+		}
+		prev = x + stripeW
+	}
+	if prev < l.NumSitesX {
+		segs = append(segs, segment{prev, l.NumSitesX})
+	}
+	if len(segs) == 0 {
+		segs = []segment{{0, l.NumSitesX}}
+	}
+	return segs
+}
+
+func sampleHeights(r *rand.Rand, n int, mix [4]float64) []int {
+	// Normalize the mix defensively.
+	sum := 0.0
+	for _, f := range mix {
+		sum += f
+	}
+	if sum <= 0 {
+		mix = [4]float64{1, 0, 0, 0}
+		sum = 1
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		u := r.Float64() * sum
+		h := 4
+		acc := 0.0
+		for k := 0; k < 4; k++ {
+			acc += mix[k]
+			if u < acc {
+				h = k + 1
+				break
+			}
+		}
+		out[i] = h
+	}
+	return out
+}
+
+func cellWidth(r *rand.Rand, h int) int {
+	if h == 1 {
+		return 1 + r.Intn(7) // 1..7 sites
+	}
+	return 2 + r.Intn(6) // taller cells: 2..7 sites
+}
+
+func parityFor(h int) model.PGParity {
+	if h%2 == 0 {
+		return model.ParityEven
+	}
+	return model.ParityAny
+}
+
+func randomLegalRow(r *rand.Rand, h, numRows int) int {
+	span := numRows - h
+	if span < 0 {
+		return -1
+	}
+	y := r.Intn(span + 1)
+	if h%2 == 0 && y%2 != 0 {
+		y--
+		if y < 0 {
+			y = 0
+		}
+	}
+	return y
+}
+
+func pickSegment(r *rand.Rand, cum []float64, total float64) int {
+	u := r.Float64() * total
+	for i, c := range cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+func maxCursor(cur []int, y, h int) int {
+	m := cur[y]
+	for i := y + 1; i < y+h; i++ {
+		if cur[i] > m {
+			m = cur[i]
+		}
+	}
+	return m
+}
+
+func setCursor(cur []int, y, h, v int) {
+	for i := y; i < y+h; i++ {
+		cur[i] = v
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

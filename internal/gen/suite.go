@@ -1,0 +1,99 @@
+package gen
+
+import "fmt"
+
+// ICCAD2017 returns the 16 Table-1 designs of the paper, rebuilt from their
+// published cell counts and densities. Height mixes follow the paper's
+// per-design notes: the *_md1 variants (and des_perf_1) have no cells taller
+// than three rows, the *_md2/_md3 variants have progressively more, and
+// pci_b_a_md2 has the largest share (the Fig. 9 bandwidth-optimization
+// highlight).
+func ICCAD2017() []Spec {
+	mk := func(name string, cells int, den float64, mix [4]float64, seed int64) Spec {
+		return Spec{
+			Name:          name,
+			NumCells:      cells,
+			TargetDensity: den,
+			HeightMix:     mix,
+			Seed:          seed,
+			BlockageFrac:  0.04,
+			PerturbX:      6.0,
+			PerturbY:      0.7,
+			ToughFrac:     0.002,
+		}
+	}
+	noTall := [4]float64{0.72, 0.21, 0.07, 0}      // md1-style: no >3-row cells
+	someTall := [4]float64{0.64, 0.22, 0.10, 0.04} // md2-style
+	moreTall := [4]float64{0.56, 0.24, 0.13, 0.07} // md3-style
+	return []Spec{
+		mk("des_perf_1", 112644, 0.906, [4]float64{0.84, 0.13, 0.03, 0}, 1701),
+		mk("des_perf_a_md1", 108288, 0.551, noTall, 1702),
+		mk("des_perf_a_md2", 108288, 0.559, someTall, 1703),
+		mk("des_perf_b_md1", 112644, 0.550, noTall, 1704),
+		mk("des_perf_b_md2", 112644, 0.647, someTall, 1705),
+		mk("edit_dist_1_md1", 130661, 0.674, [4]float64{0.74, 0.18, 0.06, 0.02}, 1706),
+		mk("edit_dist_a_md2", 127413, 0.594, someTall, 1707),
+		mk("edit_dist_a_md3", 127413, 0.572, moreTall, 1708),
+		mk("fft_2_md2", 32281, 0.827, someTall, 1709),
+		mk("fft_a_md2", 30625, 0.323, someTall, 1710),
+		mk("fft_a_md3", 30625, 0.312, moreTall, 1711),
+		mk("pci_b_a_md1", 29517, 0.495, noTall, 1712),
+		mk("pci_b_a_md2", 29517, 0.577, [4]float64{0.48, 0.25, 0.18, 0.09}, 1713),
+		mk("pci_b_b_md1", 28914, 0.266, [4]float64{0.70, 0.21, 0.08, 0.01}, 1714),
+		mk("pci_b_b_md2", 28914, 0.183, someTall, 1715),
+		mk("pci_b_b_md3", 28914, 0.222, moreTall, 1716),
+	}
+}
+
+// Superblue returns the two superblue-scale designs the paper uses in
+// Fig. 2(b) to measure the GPU legalizer's synchronization overhead.
+func Superblue() []Spec {
+	mk := func(name string, cells int, seed int64) Spec {
+		return Spec{
+			Name:          name,
+			NumCells:      cells,
+			TargetDensity: 0.55,
+			HeightMix:     [4]float64{0.66, 0.22, 0.09, 0.03},
+			Seed:          seed,
+			BlockageFrac:  0.05,
+			PerturbX:      6.0,
+			PerturbY:      0.7,
+			ToughFrac:     0.003,
+		}
+	}
+	return []Spec{
+		mk("superblue11_a", 926000, 1801),
+		mk("superblue19", 506000, 1802),
+	}
+}
+
+// ByName looks a spec up across all suites.
+func ByName(name string) (Spec, bool) {
+	for _, s := range ICCAD2017() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	for _, s := range Superblue() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Small returns a fast, small benchmark for unit tests and examples:
+// roughly n cells at the given density with a representative height mix.
+func Small(n int, density float64, seed int64) Spec {
+	return Spec{
+		Name:          fmt.Sprintf("small_n%d_d%02.0f_s%d", n, density*100, seed),
+		NumCells:      n,
+		TargetDensity: density,
+		HeightMix:     [4]float64{0.62, 0.22, 0.11, 0.05},
+		Seed:          seed,
+		BlockageFrac:  0.04,
+		PerturbX:      6.0,
+		PerturbY:      0.7,
+		ToughFrac:     0.002,
+	}
+}

@@ -1,0 +1,191 @@
+// Package geom provides the small integer-geometry vocabulary used by the
+// legalizer: half-open intervals and rectangles on the site/row grid.
+//
+// All placement coordinates in this repository are integers: x positions are
+// measured in placement sites, y positions in standard-cell rows. Intervals
+// and rectangles are half-open ([Lo, Hi)), which makes abutting cells
+// non-overlapping by construction.
+package geom
+
+import "fmt"
+
+// Interval is a half-open integer interval [Lo, Hi).
+type Interval struct {
+	Lo, Hi int
+}
+
+// NewInterval returns the interval [lo, hi). It does not require lo <= hi;
+// an inverted interval is empty.
+func NewInterval(lo, hi int) Interval { return Interval{Lo: lo, Hi: hi} }
+
+// Len returns the length of the interval, or 0 if it is empty/inverted.
+func (iv Interval) Len() int {
+	if iv.Hi <= iv.Lo {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Empty reports whether the interval contains no integers.
+func (iv Interval) Empty() bool { return iv.Hi <= iv.Lo }
+
+// Contains reports whether x lies in [Lo, Hi).
+func (iv Interval) Contains(x int) bool { return x >= iv.Lo && x < iv.Hi }
+
+// ContainsInterval reports whether o is entirely inside iv.
+func (iv Interval) ContainsInterval(o Interval) bool {
+	if o.Empty() {
+		return true
+	}
+	return o.Lo >= iv.Lo && o.Hi <= iv.Hi
+}
+
+// Overlaps reports whether the two intervals share at least one integer.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Lo < o.Hi && o.Lo < iv.Hi
+}
+
+// Intersect returns the intersection of the two intervals (possibly empty).
+func (iv Interval) Intersect(o Interval) Interval {
+	lo, hi := iv.Lo, iv.Hi
+	if o.Lo > lo {
+		lo = o.Lo
+	}
+	if o.Hi < hi {
+		hi = o.Hi
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Union returns the smallest interval covering both intervals.
+func (iv Interval) Union(o Interval) Interval {
+	if iv.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return iv
+	}
+	lo, hi := iv.Lo, iv.Hi
+	if o.Lo < lo {
+		lo = o.Lo
+	}
+	if o.Hi > hi {
+		hi = o.Hi
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Clamp returns x clamped into [Lo, Hi-1]. Clamp panics on an empty interval
+// because there is no representable answer.
+func (iv Interval) Clamp(x int) int {
+	if iv.Empty() {
+		panic(fmt.Sprintf("geom: Clamp on empty interval %v", iv))
+	}
+	if x < iv.Lo {
+		return iv.Lo
+	}
+	if x >= iv.Hi {
+		return iv.Hi - 1
+	}
+	return x
+}
+
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d)", iv.Lo, iv.Hi) }
+
+// Rect is an axis-aligned half-open rectangle on the site/row grid:
+// x in [X, X+W), y in [Y, Y+H).
+type Rect struct {
+	X, Y, W, H int
+}
+
+// NewRect returns the rectangle with bottom-left corner (x, y), width w and
+// height h.
+func NewRect(x, y, w, h int) Rect { return Rect{X: x, Y: y, W: w, H: h} }
+
+// XSpan returns the x interval [X, X+W).
+func (r Rect) XSpan() Interval { return Interval{Lo: r.X, Hi: r.X + r.W} }
+
+// YSpan returns the y interval [Y, Y+H).
+func (r Rect) YSpan() Interval { return Interval{Lo: r.Y, Hi: r.Y + r.H} }
+
+// Area returns the area of the rectangle, or 0 if it is empty.
+func (r Rect) Area() int {
+	if r.W <= 0 || r.H <= 0 {
+		return 0
+	}
+	return r.W * r.H
+}
+
+// Empty reports whether the rectangle covers no grid cells.
+func (r Rect) Empty() bool { return r.W <= 0 || r.H <= 0 }
+
+// Overlaps reports whether the two rectangles share interior area.
+func (r Rect) Overlaps(o Rect) bool {
+	return r.XSpan().Overlaps(o.XSpan()) && r.YSpan().Overlaps(o.YSpan())
+}
+
+// Intersect returns the intersection of the two rectangles (possibly empty).
+func (r Rect) Intersect(o Rect) Rect {
+	xs := r.XSpan().Intersect(o.XSpan())
+	ys := r.YSpan().Intersect(o.YSpan())
+	if xs.Empty() || ys.Empty() {
+		return Rect{}
+	}
+	return Rect{X: xs.Lo, Y: ys.Lo, W: xs.Len(), H: ys.Len()}
+}
+
+// Union returns the bounding box of the two rectangles.
+func (r Rect) Union(o Rect) Rect {
+	if r.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return r
+	}
+	xs := r.XSpan().Union(o.XSpan())
+	ys := r.YSpan().Union(o.YSpan())
+	return Rect{X: xs.Lo, Y: ys.Lo, W: xs.Len(), H: ys.Len()}
+}
+
+// Contains reports whether o lies entirely inside r.
+func (r Rect) Contains(o Rect) bool {
+	return r.XSpan().ContainsInterval(o.XSpan()) && r.YSpan().ContainsInterval(o.YSpan())
+}
+
+// ContainsPoint reports whether the grid cell at (x, y) is inside r.
+func (r Rect) ContainsPoint(x, y int) bool {
+	return r.XSpan().Contains(x) && r.YSpan().Contains(y)
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("(%d,%d)+%dx%d", r.X, r.Y, r.W, r.H)
+}
+
+// Abs returns the absolute value of an int.
+func Abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Manhattan returns the Manhattan (L1) distance between (x1, y1) and (x2, y2).
+func Manhattan(x1, y1, x2, y2 int) int {
+	return Abs(x1-x2) + Abs(y1-y2)
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := NewInterval(2, 5)
+	if iv.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", iv.Len())
+	}
+	if iv.Empty() {
+		t.Fatal("interval should not be empty")
+	}
+	if !iv.Contains(2) || !iv.Contains(4) || iv.Contains(5) || iv.Contains(1) {
+		t.Fatal("Contains is wrong at the interval boundaries")
+	}
+	if NewInterval(5, 2).Len() != 0 || !NewInterval(5, 2).Empty() {
+		t.Fatal("inverted interval must be empty with zero length")
+	}
+}
+
+func TestIntervalOverlapsIsHalfOpen(t *testing.T) {
+	a := NewInterval(0, 4)
+	b := NewInterval(4, 8) // abutting: shares no integer
+	if a.Overlaps(b) || b.Overlaps(a) {
+		t.Fatal("abutting half-open intervals must not overlap")
+	}
+	c := NewInterval(3, 5)
+	if !a.Overlaps(c) || !c.Overlaps(a) {
+		t.Fatal("intervals sharing [3,4) must overlap")
+	}
+}
+
+func TestIntervalIntersectUnion(t *testing.T) {
+	a, b := NewInterval(0, 10), NewInterval(5, 15)
+	if got := a.Intersect(b); got != NewInterval(5, 10) {
+		t.Fatalf("Intersect = %v, want [5,10)", got)
+	}
+	if got := a.Union(b); got != NewInterval(0, 15) {
+		t.Fatalf("Union = %v, want [0,15)", got)
+	}
+	empty := NewInterval(7, 7)
+	if got := a.Union(empty); got != a {
+		t.Fatalf("union with empty = %v, want %v", got, a)
+	}
+	if got := empty.Union(b); got != b {
+		t.Fatalf("empty union b = %v, want %v", got, b)
+	}
+}
+
+func TestIntervalClamp(t *testing.T) {
+	iv := NewInterval(3, 8)
+	cases := [][2]int{{0, 3}, {3, 3}, {7, 7}, {8, 7}, {100, 7}}
+	for _, c := range cases {
+		if got := iv.Clamp(c[0]); got != c[1] {
+			t.Errorf("Clamp(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Clamp on empty interval must panic")
+		}
+	}()
+	NewInterval(5, 5).Clamp(1)
+}
+
+func TestIntervalContainsInterval(t *testing.T) {
+	outer := NewInterval(0, 10)
+	if !outer.ContainsInterval(NewInterval(0, 10)) {
+		t.Fatal("interval must contain itself")
+	}
+	if !outer.ContainsInterval(NewInterval(3, 3)) {
+		t.Fatal("any interval contains the empty interval")
+	}
+	if outer.ContainsInterval(NewInterval(5, 11)) {
+		t.Fatal("[0,10) must not contain [5,11)")
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(1, 2, 3, 4)
+	if r.Area() != 12 {
+		t.Fatalf("Area = %d, want 12", r.Area())
+	}
+	if r.XSpan() != NewInterval(1, 4) || r.YSpan() != NewInterval(2, 6) {
+		t.Fatal("spans are wrong")
+	}
+	if NewRect(0, 0, 0, 5).Area() != 0 || !NewRect(0, 0, 0, 5).Empty() {
+		t.Fatal("zero-width rect must be empty with zero area")
+	}
+}
+
+func TestRectOverlapAbutting(t *testing.T) {
+	a := NewRect(0, 0, 4, 2)
+	b := NewRect(4, 0, 4, 2) // abuts on the right
+	c := NewRect(0, 2, 4, 2) // abuts on top
+	if a.Overlaps(b) || a.Overlaps(c) {
+		t.Fatal("abutting rects must not overlap")
+	}
+	d := NewRect(3, 1, 2, 2)
+	if !a.Overlaps(d) || !d.Overlaps(a) {
+		t.Fatal("rects sharing area must overlap")
+	}
+}
+
+func TestRectIntersectUnionContains(t *testing.T) {
+	a := NewRect(0, 0, 10, 10)
+	b := NewRect(5, 5, 10, 10)
+	want := NewRect(5, 5, 5, 5)
+	if got := a.Intersect(b); got != want {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	if got := a.Union(b); got != NewRect(0, 0, 15, 15) {
+		t.Fatalf("Union = %v, want (0,0)+15x15", got)
+	}
+	if !a.Contains(NewRect(2, 3, 4, 5)) {
+		t.Fatal("containment failed")
+	}
+	if a.Contains(NewRect(8, 8, 4, 4)) {
+		t.Fatal("partially outside rect reported as contained")
+	}
+	if !a.ContainsPoint(0, 0) || a.ContainsPoint(10, 0) {
+		t.Fatal("ContainsPoint boundary behaviour wrong")
+	}
+	disjoint := NewRect(20, 20, 2, 2)
+	if got := a.Intersect(disjoint); !got.Empty() {
+		t.Fatalf("disjoint intersection = %v, want empty", got)
+	}
+}
+
+func TestScalarHelpers(t *testing.T) {
+	if Abs(-5) != 5 || Abs(5) != 5 || Abs(0) != 0 {
+		t.Fatal("Abs wrong")
+	}
+	if Manhattan(0, 0, 3, -4) != 7 {
+		t.Fatal("Manhattan wrong")
+	}
+	if Min(2, 3) != 2 || Max(2, 3) != 3 {
+		t.Fatal("Min/Max wrong")
+	}
+}
+
+// Property: intersection is commutative and contained in both operands;
+// union contains both operands.
+func TestRectIntersectUnionProperties(t *testing.T) {
+	f := func(ax, ay int8, aw, ah uint8, bx, by int8, bw, bh uint8) bool {
+		a := NewRect(int(ax), int(ay), int(aw)%32+1, int(ah)%32+1)
+		b := NewRect(int(bx), int(by), int(bw)%32+1, int(bh)%32+1)
+		inter1, inter2 := a.Intersect(b), b.Intersect(a)
+		if inter1 != inter2 {
+			return false
+		}
+		if !inter1.Empty() && (!a.Contains(inter1) || !b.Contains(inter1)) {
+			return false
+		}
+		u := a.Union(b)
+		return u.Contains(a) && u.Contains(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Overlaps(a, b) iff the intersection has positive area.
+func TestRectOverlapMatchesIntersection(t *testing.T) {
+	f := func(ax, ay int8, aw, ah uint8, bx, by int8, bw, bh uint8) bool {
+		a := NewRect(int(ax), int(ay), int(aw)%16+1, int(ah)%16+1)
+		b := NewRect(int(bx), int(by), int(bw)%16+1, int(bh)%16+1)
+		return a.Overlaps(b) == (a.Intersect(b).Area() > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package model
+
+import "github.com/flex-eda/flex/internal/geom"
+
+// Metrics summarizes legalization quality for a layout, following Sec. 2.1
+// of the paper. Displacements are measured in multiples of the row height so
+// the values are comparable to the AveDis column of Table 1.
+type Metrics struct {
+	// AveDis is S_am of Eq. 2: the mean, over cell-height classes, of the
+	// average displacement of the cells in that class, in row heights.
+	AveDis float64
+	// MeanDis is the plain average displacement over all movable cells.
+	MeanDis float64
+	// MaxDis is the largest single-cell displacement, in row heights.
+	MaxDis float64
+	// TotalDis is the summed displacement over all movable cells.
+	TotalDis float64
+	// Moved counts movable cells whose position differs from global placement.
+	Moved int
+	// Movable counts movable cells.
+	Movable int
+}
+
+// Measure computes quality metrics for the layout against the stored
+// global-placement positions.
+func Measure(l *Layout) Metrics {
+	var m Metrics
+	maxH := l.MaxHeight()
+	sumByH := make([]float64, maxH+1)
+	cntByH := make([]int, maxH+1)
+	rh := float64(l.RowHeight)
+	if rh == 0 {
+		rh = 1
+	}
+	for i := range l.Cells {
+		c := &l.Cells[i]
+		if c.Fixed {
+			continue
+		}
+		m.Movable++
+		d := float64(c.Displacement(l.RowHeight)) / rh
+		m.TotalDis += d
+		if d > m.MaxDis {
+			m.MaxDis = d
+		}
+		if c.X != c.GX || c.Y != c.GY {
+			m.Moved++
+		}
+		sumByH[c.H] += d
+		cntByH[c.H]++
+	}
+	if m.Movable > 0 {
+		m.MeanDis = m.TotalDis / float64(m.Movable)
+	}
+	classes := 0
+	for h := 1; h <= maxH; h++ {
+		if cntByH[h] > 0 {
+			m.AveDis += sumByH[h] / float64(cntByH[h])
+			classes++
+		}
+	}
+	if classes > 0 {
+		m.AveDis /= float64(classes)
+	}
+	return m
+}
+
+// HeightHistogram returns, for each height class 1..MaxHeight, the number of
+// movable cells of that height.
+func HeightHistogram(l *Layout) []int {
+	hist := make([]int, l.MaxHeight()+1)
+	for i := range l.Cells {
+		if !l.Cells[i].Fixed {
+			hist[l.Cells[i].H]++
+		}
+	}
+	return hist
+}
+
+// TallCellFraction returns the fraction of movable cells strictly taller
+// than minRows rows (the gray series of the paper's Fig. 9 uses minRows=3).
+func TallCellFraction(l *Layout, minRows int) float64 {
+	tall, total := 0, 0
+	for i := range l.Cells {
+		if l.Cells[i].Fixed {
+			continue
+		}
+		total++
+		if l.Cells[i].H > minRows {
+			tall++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(tall) / float64(total)
+}
+
+// BoundingBoxOfCells returns the bounding box of the given cell IDs at their
+// current positions, or an empty rect when ids is empty.
+func BoundingBoxOfCells(l *Layout, ids []int) geom.Rect {
+	var bb geom.Rect
+	for _, id := range ids {
+		bb = bb.Union(l.Cells[id].Rect())
+	}
+	return bb
+}

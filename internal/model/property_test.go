@@ -1,0 +1,85 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/flex-eda/flex/internal/geom"
+)
+
+// TestDisplacementProperties: displacement is symmetric in sign, zero at
+// the global position, and additive in rowHeight for pure vertical moves.
+func TestDisplacementProperties(t *testing.T) {
+	f := func(gx, gy int8, dx, dy int8, rh uint8) bool {
+		rowH := int(rh)%8 + 1
+		c := Cell{GX: int(gx), GY: int(gy), X: int(gx) + int(dx), Y: int(gy) + int(dy), W: 1, H: 1}
+		d := c.Displacement(rowH)
+		if d != geom.Abs(int(dx))+rowH*geom.Abs(int(dy)) {
+			return false
+		}
+		c.X, c.Y = c.GX, c.GY
+		return c.Displacement(rowH) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverlapSymmetry: Check reports overlaps independent of cell order.
+func TestOverlapSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by uint8, aw, ah, bw, bh uint8) bool {
+		mk := func(first, second [4]int) *Layout {
+			l := &Layout{NumSitesX: 600, NumRows: 600, RowHeight: 8}
+			for i, r := range [][4]int{first, second} {
+				l.Cells = append(l.Cells, Cell{
+					ID: i, X: r[0], Y: r[1], GX: r[0], GY: r[1],
+					W: r[2], H: r[3], Parity: ParityAny,
+				})
+			}
+			return l
+		}
+		a := [4]int{int(ax), int(ay), int(aw)%8 + 1, int(ah)%4 + 1}
+		b := [4]int{int(bx), int(by), int(bw)%8 + 1, int(bh)%4 + 1}
+		v1 := mk(a, b).Check(0)
+		v2 := mk(b, a).Check(0)
+		n1, n2 := 0, 0
+		for _, v := range v1 {
+			if v.Kind == "overlap" {
+				n1++
+			}
+		}
+		for _, v := range v2 {
+			if v.Kind == "overlap" {
+				n2++
+			}
+		}
+		return n1 == n2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMeasureScaleInvariance: doubling row height halves the row-height-
+// normalized vertical displacement contribution consistently.
+func TestMeasureScaleInvariance(t *testing.T) {
+	l := &Layout{NumSitesX: 100, NumRows: 20, RowHeight: 8}
+	l.Cells = append(l.Cells, Cell{ID: 0, X: 10, Y: 4, GX: 10, GY: 2, W: 3, H: 1, Parity: ParityAny})
+	m8 := Measure(l)
+	l.RowHeight = 16
+	m16 := Measure(l)
+	// Vertical displacement in row units is row-height independent.
+	if m8.AveDis != m16.AveDis {
+		t.Fatalf("row-normalized vertical displacement changed: %v vs %v", m8.AveDis, m16.AveDis)
+	}
+	// Horizontal displacement in row units halves when rows get taller.
+	l.Cells[0].Y = 2
+	l.Cells[0].X = 18
+	l.RowHeight = 8
+	h8 := Measure(l).AveDis
+	l.RowHeight = 16
+	h16 := Measure(l).AveDis
+	if h8 != 2*h16 {
+		t.Fatalf("horizontal normalization wrong: %v vs %v", h8, h16)
+	}
+}

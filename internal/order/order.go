@@ -1,0 +1,154 @@
+// Package order implements target-cell processing orderings (Sec. 3.1.2 of
+// the FLEX paper). The order in which a heuristic legalizer places cells
+// strongly affects quality: the baseline orders by cell size only, while
+// FLEX refines the tail of a sliding window by localRegion density so that
+// hard, high-density neighbourhoods are handled before they get crowded.
+package order
+
+import (
+	"sort"
+
+	"github.com/flex-eda/flex/internal/geom"
+	"github.com/flex-eda/flex/internal/model"
+	"github.com/flex-eda/flex/internal/region"
+)
+
+// Scheduler yields target cells in processing order. Implementations are
+// stateful: Next pops the next target.
+type Scheduler interface {
+	// Next returns the next target cell ID, or ok=false when exhausted.
+	Next() (id int, ok bool)
+	// Peek returns the upcoming target without consuming it (the paper's
+	// C_next, used for ping-pong preloading), or ok=false when exhausted.
+	Peek() (id int, ok bool)
+	// Remaining reports how many targets are left.
+	Remaining() int
+}
+
+// bySizeDesc sorts cell IDs by descending area, breaking ties by descending
+// height then ascending ID, matching the "larger cells first" heuristic.
+func bySizeDesc(l *model.Layout, ids []int) {
+	sort.SliceStable(ids, func(a, b int) bool {
+		ca, cb := &l.Cells[ids[a]], &l.Cells[ids[b]]
+		if ca.Area() != cb.Area() {
+			return ca.Area() > cb.Area()
+		}
+		if ca.H != cb.H {
+			return ca.H > cb.H
+		}
+		return ids[a] < ids[b]
+	})
+}
+
+// SizeOrder is the static size-descending ordering used by the MGL and
+// DATE'22 baselines.
+type SizeOrder struct {
+	queue []int
+}
+
+// NewSizeOrder builds a size-descending scheduler over the layout's movable
+// cells.
+func NewSizeOrder(l *model.Layout) *SizeOrder {
+	ids := l.MovableIDs()
+	bySizeDesc(l, ids)
+	return &SizeOrder{queue: ids}
+}
+
+// Next implements Scheduler.
+func (s *SizeOrder) Next() (int, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	id := s.queue[0]
+	s.queue = s.queue[1:]
+	return id, true
+}
+
+// Peek implements Scheduler.
+func (s *SizeOrder) Peek() (int, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0], true
+}
+
+// Remaining implements Scheduler.
+func (s *SizeOrder) Remaining() int { return len(s.queue) }
+
+// SlidingWindow is the FLEX ordering: an initial size-descending sequence
+// refined on the fly. The head of the window (C_cur) is processed next and
+// the second element (C_next) stays fixed so its region can be preloaded,
+// while the remaining window entries are re-sorted by current localRegion
+// density, highest first.
+type SlidingWindow struct {
+	queue   []int
+	w       int
+	density func(id int) float64
+}
+
+// NewSlidingWindow builds the FLEX scheduler. w is the window length
+// (w >= 3 for the reordering to have any effect); density estimates the
+// current localRegion density around a cell.
+func NewSlidingWindow(l *model.Layout, w int, density func(id int) float64) *SlidingWindow {
+	ids := l.MovableIDs()
+	bySizeDesc(l, ids)
+	if w < 1 {
+		w = 1
+	}
+	return &SlidingWindow{queue: ids, w: w, density: density}
+}
+
+// Next implements Scheduler: pops C_cur, then re-sorts positions
+// [2, w) of the remaining queue (everything in the window except the fixed
+// C_next) by density, descending.
+func (s *SlidingWindow) Next() (int, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	id := s.queue[0]
+	s.queue = s.queue[1:]
+	if s.density != nil && len(s.queue) > 2 {
+		hi := geom.Min(s.w-1, len(s.queue))
+		if hi > 2 {
+			seg := s.queue[1:hi]
+			dens := make(map[int]float64, len(seg))
+			for _, v := range seg {
+				dens[v] = s.density(v)
+			}
+			sort.SliceStable(seg, func(a, b int) bool { return dens[seg[a]] > dens[seg[b]] })
+		}
+	}
+	return id, true
+}
+
+// Peek implements Scheduler.
+func (s *SlidingWindow) Peek() (int, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0], true
+}
+
+// Remaining implements Scheduler.
+func (s *SlidingWindow) Remaining() int { return len(s.queue) }
+
+// DensityEstimator returns a localRegion-density estimate function backed
+// by the spatial index: occupied area of indexed cells in a window around
+// the cell's global position over the window area.
+func DensityEstimator(l *model.Layout, idx *region.Index, winW, winH int) func(id int) float64 {
+	return func(id int) float64 {
+		c := &l.Cells[id]
+		win := geom.NewRect(c.GX+c.W/2-winW/2, c.GY+c.H/2-winH/2, winW, winH).Intersect(l.Die())
+		if win.Empty() {
+			return 1
+		}
+		used := c.Area()
+		for _, other := range idx.Query(win, nil) {
+			if other == id {
+				continue
+			}
+			used += l.Cells[other].Rect().Intersect(win).Area()
+		}
+		return float64(used) / float64(win.Area())
+	}
+}

@@ -1,0 +1,131 @@
+package order
+
+import (
+	"testing"
+
+	"github.com/flex-eda/flex/internal/gen"
+	"github.com/flex-eda/flex/internal/model"
+	"github.com/flex-eda/flex/internal/region"
+)
+
+func layout(t *testing.T) *model.Layout {
+	t.Helper()
+	l, err := gen.Small(200, 0.5, 55).Generate(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestSizeOrderDescending(t *testing.T) {
+	l := layout(t)
+	s := NewSizeOrder(l)
+	if s.Remaining() != len(l.MovableIDs()) {
+		t.Fatalf("Remaining = %d", s.Remaining())
+	}
+	prev := 1 << 60
+	count := 0
+	for {
+		id, ok := s.Next()
+		if !ok {
+			break
+		}
+		a := l.Cells[id].Area()
+		if a > prev {
+			t.Fatalf("area increased: %d after %d", a, prev)
+		}
+		prev = a
+		count++
+	}
+	if count != len(l.MovableIDs()) {
+		t.Fatalf("yielded %d targets", count)
+	}
+	if _, ok := s.Peek(); ok {
+		t.Fatal("Peek after exhaustion should fail")
+	}
+}
+
+func TestSizeOrderPeekMatchesNext(t *testing.T) {
+	l := layout(t)
+	s := NewSizeOrder(l)
+	for i := 0; i < 10; i++ {
+		p, ok := s.Peek()
+		if !ok {
+			break
+		}
+		n, _ := s.Next()
+		if p != n {
+			t.Fatalf("Peek %d != Next %d", p, n)
+		}
+	}
+}
+
+func TestSlidingWindowReordersByDensity(t *testing.T) {
+	l := layout(t)
+	// Synthetic density: higher for higher cell IDs.
+	density := func(id int) float64 { return float64(id) }
+	sw := NewSlidingWindow(l, 6, density)
+	plain := NewSizeOrder(l)
+
+	// First target identical (C_cur of the initial window).
+	a, _ := sw.Next()
+	b, _ := plain.Next()
+	if a != b {
+		t.Fatalf("first target differs: %d vs %d", a, b)
+	}
+	// Second target is the fixed C_next: also identical.
+	a, _ = sw.Next()
+	b, _ = plain.Next()
+	if a != b {
+		t.Fatalf("second target (C_next) differs: %d vs %d", a, b)
+	}
+	// From here on the window tail is density-sorted, so the sliding
+	// window must eventually diverge from the plain order.
+	diverged := false
+	for i := 0; i < 40; i++ {
+		x, ok1 := sw.Next()
+		y, ok2 := plain.Next()
+		if !ok1 || !ok2 {
+			break
+		}
+		if x != y {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("sliding window never reordered anything")
+	}
+}
+
+func TestSlidingWindowYieldsAllTargets(t *testing.T) {
+	l := layout(t)
+	sw := NewSlidingWindow(l, 8, func(int) float64 { return 0 })
+	seen := map[int]bool{}
+	for {
+		id, ok := sw.Next()
+		if !ok {
+			break
+		}
+		if seen[id] {
+			t.Fatalf("target %d yielded twice", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != len(l.MovableIDs()) {
+		t.Fatalf("yielded %d of %d targets", len(seen), len(l.MovableIDs()))
+	}
+}
+
+func TestDensityEstimator(t *testing.T) {
+	l := layout(t)
+	idx := region.NewIndex(l, 32, 4, nil)
+	est := DensityEstimator(l, idx, 64, 8)
+	ids := l.MovableIDs()
+	for _, id := range ids[:10] {
+		d := est(id)
+		if d <= 0 || d > 4 {
+			t.Fatalf("density estimate %v out of range for cell %d", d, id)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package perf
+
+import (
+	"testing"
+
+	"github.com/flex-eda/flex/internal/curve"
+	"github.com/flex-eda/flex/internal/fop"
+	"github.com/flex-eda/flex/internal/shift"
+)
+
+func TestWorkPricing(t *testing.T) {
+	w := DefaultWeights
+	sh := shift.Stats{SubcellVisits: 10, Moves: 2, SortOps: 5}
+	if got := w.ShiftWork(sh); got != 10*w.SubcellVisit+2*w.Move+5*w.SortOp {
+		t.Fatalf("ShiftWork = %v", got)
+	}
+	cv := curve.Stats{RawBps: 3, MergedBps: 2, SortOps: 4, Traversal: 7}
+	want := 3*w.BpRaw + 2*w.BpMerge + 4*w.SortOp + 7*w.CurveTraverse
+	if got := w.CurveWork(cv); got != want {
+		t.Fatalf("CurveWork = %v, want %v", got, want)
+	}
+	var f fop.Stats
+	f.Shift = sh
+	f.Curve = cv
+	if got := w.FOPWork(f); got != w.ShiftWork(sh)+w.CurveWork(cv) {
+		t.Fatalf("FOPWork = %v", got)
+	}
+}
+
+func TestCPUModelMonotonicity(t *testing.T) {
+	m := DefaultCPU
+	if m.Seconds(0) != 0 {
+		t.Fatal("zero work must cost zero")
+	}
+	if m.Seconds(1e6) <= m.Seconds(1e3) {
+		t.Fatal("Seconds not monotone")
+	}
+	// More batches cost more at fixed work.
+	a := m.ParallelSeconds(100, 1000, 10, 4)
+	b := m.ParallelSeconds(100, 1000, 100, 4)
+	if b <= a {
+		t.Fatal("batch sync not charged")
+	}
+	// A shorter critical path is faster.
+	c := m.ParallelSeconds(100, 500, 10, 4)
+	if c >= a {
+		t.Fatal("critical path not charged")
+	}
+}

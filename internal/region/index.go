@@ -1,0 +1,133 @@
+package region
+
+import (
+	"github.com/flex-eda/flex/internal/geom"
+	"github.com/flex-eda/flex/internal/model"
+)
+
+// Index is a uniform-grid spatial index over a layout, used by the
+// legalizer flow to enumerate the cells intersecting a window without
+// scanning the whole design. Cells are re-binned when they move.
+type Index struct {
+	l          *model.Layout
+	binW, binH int
+	nx, ny     int
+	bins       [][]int     // bin -> cell IDs (unsorted)
+	where      []geom.Rect // cell ID -> rect it was binned under
+	present    []bool      // cell ID -> currently indexed
+}
+
+// NewIndex builds an index over the layout with bins of the given size
+// (sites × rows). Only cells for which include(id) is true are inserted;
+// pass nil to index everything.
+func NewIndex(l *model.Layout, binW, binH int, include func(int) bool) *Index {
+	if binW <= 0 {
+		binW = 32
+	}
+	if binH <= 0 {
+		binH = 4
+	}
+	idx := &Index{
+		l:    l,
+		binW: binW, binH: binH,
+		nx:      (l.NumSitesX + binW - 1) / binW,
+		ny:      (l.NumRows + binH - 1) / binH,
+		where:   make([]geom.Rect, len(l.Cells)),
+		present: make([]bool, len(l.Cells)),
+	}
+	if idx.nx < 1 {
+		idx.nx = 1
+	}
+	if idx.ny < 1 {
+		idx.ny = 1
+	}
+	idx.bins = make([][]int, idx.nx*idx.ny)
+	for i := range l.Cells {
+		if include == nil || include(i) {
+			idx.Add(i)
+		}
+	}
+	return idx
+}
+
+func (idx *Index) binRange(r geom.Rect) (bx0, bx1, by0, by1 int) {
+	bx0 = geom.Max(0, r.X/idx.binW)
+	by0 = geom.Max(0, r.Y/idx.binH)
+	bx1 = geom.Min(idx.nx-1, (r.X+r.W-1)/idx.binW)
+	by1 = geom.Min(idx.ny-1, (r.Y+r.H-1)/idx.binH)
+	return
+}
+
+// Add inserts cell id at its current position.
+func (idx *Index) Add(id int) {
+	if idx.present[id] {
+		return
+	}
+	r := idx.l.Cells[id].Rect()
+	bx0, bx1, by0, by1 := idx.binRange(r)
+	for by := by0; by <= by1; by++ {
+		for bx := bx0; bx <= bx1; bx++ {
+			b := by*idx.nx + bx
+			idx.bins[b] = append(idx.bins[b], id)
+		}
+	}
+	idx.where[id] = r
+	idx.present[id] = true
+}
+
+// Remove deletes cell id from the index.
+func (idx *Index) Remove(id int) {
+	if !idx.present[id] {
+		return
+	}
+	r := idx.where[id]
+	bx0, bx1, by0, by1 := idx.binRange(r)
+	for by := by0; by <= by1; by++ {
+		for bx := bx0; bx <= bx1; bx++ {
+			b := by*idx.nx + bx
+			s := idx.bins[b]
+			for k, v := range s {
+				if v == id {
+					s[k] = s[len(s)-1]
+					idx.bins[b] = s[:len(s)-1]
+					break
+				}
+			}
+		}
+	}
+	idx.present[id] = false
+}
+
+// Update re-bins cell id after its position changed.
+func (idx *Index) Update(id int) {
+	if !idx.present[id] {
+		idx.Add(id)
+		return
+	}
+	if idx.where[id] == idx.l.Cells[id].Rect() {
+		return
+	}
+	idx.Remove(id)
+	idx.Add(id)
+}
+
+// Query appends to dst the IDs of indexed cells whose rect overlaps win,
+// without duplicates, and returns the extended slice.
+func (idx *Index) Query(win geom.Rect, dst []int) []int {
+	bx0, bx1, by0, by1 := idx.binRange(win)
+	seen := make(map[int]bool)
+	for by := by0; by <= by1; by++ {
+		for bx := bx0; bx <= bx1; bx++ {
+			for _, id := range idx.bins[by*idx.nx+bx] {
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				if idx.l.Cells[id].Rect().Overlaps(win) {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,356 @@
+// Package region implements the localization vocabulary of the MGL
+// algorithm (Sec. 2.2 of the FLEX paper): the rectangular window W around a
+// target cell, the per-row localSegments of unblocked sites, the localCells
+// fully contained in those segments, and the localRegion that FOP operates
+// on. It also provides the grid spatial index the legalizer uses to find
+// nearby cells quickly.
+package region
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/flex-eda/flex/internal/geom"
+	"github.com/flex-eda/flex/internal/model"
+)
+
+// LocalCell is a cell participating in a localRegion, with a private copy of
+// its position so FOP can shift it hypothetically without touching the
+// layout.
+type LocalCell struct {
+	ID   int // layout cell ID
+	X, Y int // current position (region-local working copy)
+	GX   int // global-placement x, displacement reference
+	W, H int
+}
+
+// Rect returns the rectangle currently occupied by the local cell.
+func (c *LocalCell) Rect() geom.Rect { return geom.NewRect(c.X, c.Y, c.W, c.H) }
+
+// Segment is one localSegment: the chosen run of unblocked sites in one row
+// of the window, with the indices (into Region.Cells) of the localCells
+// occupying it, sorted by x.
+type Segment struct {
+	Row    int
+	Lo, Hi int   // free span [Lo, Hi)
+	Cells  []int // localCell indices sorted by current X
+}
+
+// Len returns the segment's capacity in sites.
+func (s *Segment) Len() int { return s.Hi - s.Lo }
+
+// Region is a localRegion: the working set of one FOP invocation.
+type Region struct {
+	Target   int // layout cell ID of the target being placed
+	TargetW  int
+	TargetH  int
+	Window   geom.Rect
+	Segments []Segment // indexed by row − Window.Y; zero-length = blocked row
+	Cells    []LocalCell
+	Density  float64 // (localCell area + target area) / segment capacity
+}
+
+// SegmentAt returns the segment for absolute row y, or nil when the row is
+// outside the window.
+func (r *Region) SegmentAt(y int) *Segment {
+	i := y - r.Window.Y
+	if i < 0 || i >= len(r.Segments) {
+		return nil
+	}
+	return &r.Segments[i]
+}
+
+// CellsInRows returns the distinct localCell indices occupying rows
+// [y, y+h), in ascending index order.
+func (r *Region) CellsInRows(y, h int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for row := y; row < y+h; row++ {
+		seg := r.SegmentAt(row)
+		if seg == nil {
+			continue
+		}
+		for _, ci := range seg.Cells {
+			if !seen[ci] {
+				seen[ci] = true
+				out = append(out, ci)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Validate checks the region's internal invariants: cells inside their
+// segments, per-segment lists sorted and non-overlapping. It returns the
+// first inconsistency found.
+func (r *Region) Validate() error {
+	for si := range r.Segments {
+		seg := &r.Segments[si]
+		prevEnd := seg.Lo
+		prevX := -1 << 60
+		for _, ci := range seg.Cells {
+			c := &r.Cells[ci]
+			if c.Y > seg.Row || c.Y+c.H <= seg.Row {
+				return fmt.Errorf("region: cell %d listed in row %d it does not occupy", c.ID, seg.Row)
+			}
+			if c.X < prevX {
+				return fmt.Errorf("region: row %d cell list not sorted", seg.Row)
+			}
+			prevX = c.X
+			if c.X < seg.Lo || c.X+c.W > seg.Hi {
+				return fmt.Errorf("region: cell %d outside segment [%d,%d)", c.ID, seg.Lo, seg.Hi)
+			}
+			if c.X < prevEnd {
+				return fmt.Errorf("region: cell %d overlaps predecessor in row %d", c.ID, seg.Row)
+			}
+			prevEnd = c.X + c.W
+		}
+	}
+	return nil
+}
+
+// SortSegmentCells re-sorts every segment's cell list by current X. Shifting
+// algorithms call it after moving cells.
+func (r *Region) SortSegmentCells() {
+	for si := range r.Segments {
+		seg := &r.Segments[si]
+		sort.SliceStable(seg.Cells, func(a, b int) bool {
+			return r.Cells[seg.Cells[a]].X < r.Cells[seg.Cells[b]].X
+		})
+	}
+}
+
+// Clone deep-copies the region so one extraction can be evaluated by
+// multiple engines.
+func (r *Region) Clone() *Region {
+	out := &Region{
+		Target: r.Target, TargetW: r.TargetW, TargetH: r.TargetH,
+		Window: r.Window, Density: r.Density,
+		Segments: make([]Segment, len(r.Segments)),
+		Cells:    make([]LocalCell, len(r.Cells)),
+	}
+	copy(out.Cells, r.Cells)
+	for i := range r.Segments {
+		s := r.Segments[i]
+		cells := make([]int, len(s.Cells))
+		copy(cells, s.Cells)
+		s.Cells = cells
+		out.Segments[i] = s
+	}
+	return out
+}
+
+// Extract builds the localRegion for target inside the window win.
+// Only cells with placed[id] == true participate; placed cells fully
+// contained in the window's free runs become localCells, all other placed
+// cells intersecting the window act as obstacles that shrink the segments
+// (like fixed blockages). The fixpoint iteration resolves the mutual
+// dependence between segment extents and localCell containment.
+//
+// Extract scans the whole layout for window members; the legalizer hot path
+// should use ExtractFrom with candidates from an Index query.
+func Extract(l *model.Layout, placed []bool, targetID int, win geom.Rect) *Region {
+	var candidates []int
+	for i := range l.Cells {
+		c := &l.Cells[i]
+		if !c.Fixed && !placed[i] {
+			continue
+		}
+		if c.Rect().Overlaps(win.Intersect(l.Die())) {
+			candidates = append(candidates, i)
+		}
+	}
+	return ExtractFrom(l, placed, targetID, win, candidates)
+}
+
+// ExtractFrom is Extract with a precomputed candidate set (typically an
+// Index query over the window). Candidates outside the window, unplaced
+// movable candidates, and the target itself are ignored.
+func ExtractFrom(l *model.Layout, placed []bool, targetID int, win geom.Rect, rawCandidates []int) *Region {
+	win = win.Intersect(l.Die())
+	target := &l.Cells[targetID]
+	r := &Region{
+		Target:  targetID,
+		TargetW: target.W,
+		TargetH: target.H,
+		Window:  win,
+	}
+	if win.Empty() {
+		return r
+	}
+
+	candidates := make([]int, 0, len(rawCandidates))
+	for _, i := range rawCandidates {
+		if i == targetID {
+			continue
+		}
+		c := &l.Cells[i]
+		if !c.Fixed && !placed[i] {
+			continue
+		}
+		if c.Rect().Overlaps(win) {
+			candidates = append(candidates, i)
+		}
+	}
+	// Greatest-fixpoint iteration: start from the maximal tentative set
+	// (every movable candidate fully inside the window) and demote cells
+	// that fall outside the segments their own demoted peers induce. The
+	// set shrinks monotonically, so the loop terminates.
+	local := make(map[int]bool)
+	for _, id := range candidates {
+		c := &l.Cells[id]
+		if !c.Fixed && win.Contains(c.Rect()) {
+			local[id] = true
+		}
+	}
+	for {
+		buildSegments(l, r, candidates, local)
+		newLocal := classify(l, r, candidates, local)
+		if equalSet(local, newLocal) {
+			break
+		}
+		local = newLocal
+	}
+
+	// Materialize localCells and per-segment lists.
+	ids := make([]int, 0, len(local))
+	for id := range local {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		c := &l.Cells[id]
+		r.Cells = append(r.Cells, LocalCell{ID: id, X: c.X, Y: c.Y, GX: c.GX, W: c.W, H: c.H})
+	}
+	for li := range r.Cells {
+		c := &r.Cells[li]
+		for row := c.Y; row < c.Y+c.H; row++ {
+			if seg := r.SegmentAt(row); seg != nil {
+				seg.Cells = append(seg.Cells, li)
+			}
+		}
+	}
+	r.SortSegmentCells()
+
+	// Density: occupied area over capacity, counting the incoming target.
+	capacity := 0
+	for i := range r.Segments {
+		capacity += r.Segments[i].Len()
+	}
+	used := target.Area()
+	for li := range r.Cells {
+		used += r.Cells[li].W * r.Cells[li].H
+	}
+	if capacity > 0 {
+		r.Density = float64(used) / float64(capacity)
+	} else {
+		r.Density = 1
+	}
+	return r
+}
+
+// buildSegments recomputes the per-row localSegment given the obstacle set
+// (every candidate that is not a localCell). Among a row's free runs it
+// prefers the one containing the target's desired position — the run the
+// MGL window is meant to be centred on — and falls back to the longest run
+// when the desired position is blocked. With windows small relative to
+// blockage spacing (the normal case) the two rules coincide; the preference
+// matters for expanded/fallback windows that straddle blockages.
+func buildSegments(l *model.Layout, r *Region, candidates []int, local map[int]bool) {
+	win := r.Window
+	target := &l.Cells[r.Target]
+	cx := target.GX + target.W/2
+	if cx < win.X {
+		cx = win.X
+	}
+	if cx >= win.X+win.W {
+		cx = win.X + win.W - 1
+	}
+	r.Segments = make([]Segment, win.H)
+	type iv struct{ lo, hi int }
+	blocked := make([][]iv, win.H)
+	for _, id := range candidates {
+		if local != nil && local[id] {
+			continue
+		}
+		c := &l.Cells[id]
+		for row := geom.Max(c.Y, win.Y); row < geom.Min(c.Y+c.H, win.Y+win.H); row++ {
+			blocked[row-win.Y] = append(blocked[row-win.Y], iv{c.X, c.X + c.W})
+		}
+	}
+	for i := 0; i < win.H; i++ {
+		row := win.Y + i
+		ivs := blocked[i]
+		sort.Slice(ivs, func(a, b int) bool { return ivs[a].lo < ivs[b].lo })
+		longLo, longHi := 0, 0  // longest free run
+		homeLo, homeHi := 0, -1 // run containing cx (if any)
+		cur := win.X
+		consider := func(hi int) {
+			if hi-cur > longHi-longLo {
+				longLo, longHi = cur, hi
+			}
+			if cur <= cx && cx < hi {
+				homeLo, homeHi = cur, hi
+			}
+		}
+		for _, b := range ivs {
+			lo := geom.Max(b.lo, win.X)
+			hi := geom.Min(b.hi, win.X+win.W)
+			if lo > cur {
+				consider(lo)
+			}
+			if hi > cur {
+				cur = hi
+			}
+		}
+		consider(win.X + win.W)
+		if homeHi > homeLo {
+			r.Segments[i] = Segment{Row: row, Lo: homeLo, Hi: homeHi}
+		} else {
+			r.Segments[i] = Segment{Row: row, Lo: longLo, Hi: longHi}
+		}
+	}
+}
+
+// classify returns the subset of the tentative localCells still fully
+// contained in the current segments: demotion-only refinement.
+func classify(l *model.Layout, r *Region, candidates []int, tentative map[int]bool) map[int]bool {
+	local := make(map[int]bool)
+	for _, id := range candidates {
+		if !tentative[id] {
+			continue
+		}
+		c := &l.Cells[id]
+		if c.Fixed {
+			continue
+		}
+		if !r.Window.Contains(c.Rect()) {
+			continue
+		}
+		ok := true
+		for row := c.Y; row < c.Y+c.H; row++ {
+			seg := r.SegmentAt(row)
+			if seg == nil || c.X < seg.Lo || c.X+c.W > seg.Hi {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			local[id] = true
+		}
+	}
+	return local
+}
+
+func equalSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

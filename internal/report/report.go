@@ -1,0 +1,150 @@
+// Package report renders the experiment results as fixed-width text tables
+// and simple bar series, matching the rows and series of the paper's tables
+// and figures so EXPERIMENTS.md can be regenerated mechanically.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a fixed-width text table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row; the cell count should match the column count.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(t.Columns))
+		for i := range t.Columns {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(t.Columns)
+	fmt.Fprintf(w, "|-%s-|\n", strings.Join(sep, "-|-"))
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// F formats a float with the given precision.
+func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// X formats a speedup ratio like the paper ("2.9x").
+func X(v float64) string { return fmt.Sprintf("%.1fx", v) }
+
+// Pct formats a fraction as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// Secs formats seconds with adaptive precision.
+func Secs(v float64) string {
+	switch {
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.5f", v)
+	}
+}
+
+// Series is a named sequence of labeled values, rendered as an ASCII bar
+// chart (one figure series).
+type Series struct {
+	Title  string
+	Labels []string
+	Values []float64
+}
+
+// NewSeries creates a series.
+func NewSeries(title string) *Series { return &Series{Title: title} }
+
+// Add appends a labeled value.
+func (s *Series) Add(label string, v float64) {
+	s.Labels = append(s.Labels, label)
+	s.Values = append(s.Values, v)
+}
+
+// Render writes the series as horizontal bars scaled to maxWidth chars.
+func (s *Series) Render(w io.Writer, maxWidth int) {
+	if maxWidth <= 0 {
+		maxWidth = 40
+	}
+	if s.Title != "" {
+		fmt.Fprintf(w, "%s\n", s.Title)
+	}
+	maxV, maxL := 0.0, 0
+	for i, v := range s.Values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(s.Labels[i]) > maxL {
+			maxL = len(s.Labels[i])
+		}
+	}
+	for i, v := range s.Values {
+		bar := 0
+		if maxV > 0 {
+			bar = int(v / maxV * float64(maxWidth))
+		}
+		fmt.Fprintf(w, "  %s %s %.3f\n", pad(s.Labels[i], maxL), strings.Repeat("#", bar), v)
+	}
+}
+
+// String renders the series to a string with default width.
+func (s *Series) String() string {
+	var b strings.Builder
+	s.Render(&b, 40)
+	return b.String()
+}

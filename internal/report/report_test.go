@@ -1,0 +1,74 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Title", "name", "value")
+	tab.Add("alpha", "1")
+	tab.Add("beta-longer", "22")
+	out := tab.String()
+	if !strings.Contains(out, "Title") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// All data lines must have equal width (fixed-width table).
+	w := len(lines[1])
+	for _, ln := range lines[2:] {
+		if len(ln) != w {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tab := NewTable("", "a", "b", "c")
+	tab.Add("only-one")
+	out := tab.String()
+	if !strings.Contains(out, "only-one") {
+		t.Fatal("short row dropped")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Fatal("F wrong")
+	}
+	if X(2.94) != "2.9x" {
+		t.Fatal("X wrong")
+	}
+	if Pct(0.405) != "40.5%" {
+		t.Fatal("Pct wrong")
+	}
+	if Secs(12.3) != "12.3" || Secs(0.1234) != "0.123" || Secs(0.00012) != "0.00012" {
+		t.Fatalf("Secs wrong: %s %s %s", Secs(12.3), Secs(0.1234), Secs(0.00012))
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := NewSeries("bars")
+	s.Add("one", 1)
+	s.Add("two", 2)
+	out := s.String()
+	if !strings.Contains(out, "bars") || !strings.Contains(out, "two") {
+		t.Fatalf("series render broken:\n%s", out)
+	}
+	// The largest value gets the longest bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[2], "#") <= strings.Count(lines[1], "#") {
+		t.Fatalf("bar scaling wrong:\n%s", out)
+	}
+}
+
+func TestSeriesZeroValues(t *testing.T) {
+	s := NewSeries("")
+	s.Add("zero", 0)
+	if out := s.String(); !strings.Contains(out, "zero") {
+		t.Fatal("zero-value label missing")
+	}
+}
