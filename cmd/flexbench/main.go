@@ -5,6 +5,11 @@
 //
 //	flexbench [-exp all|table1|table2|fig2a|fig2b|fig2c|fig2g|fig6g|fig8|fig9|fig10]
 //	          [-scale 0.02] [-designs name1,name2] [-threads 8] [-measure-original]
+//	          [-workers N]
+//
+// -workers bounds how many (design × engine) jobs run concurrently (0 =
+// GOMAXPROCS). Engines are deterministic, so every worker count prints
+// byte-identical tables; -workers 1 forces the old serial behaviour.
 //
 // Absolute numbers depend on the scale factor and the platform models; the
 // shapes (who wins, by what factor, where the crossovers are) are the
@@ -26,12 +31,14 @@ func main() {
 	designs := flag.String("designs", "", "comma-separated design filter (default: all 16)")
 	threads := flag.Int("threads", 8, "CPU baseline thread count")
 	measure := flag.Bool("measure-original", false, "instrument the original multi-pass shifting (slower, more faithful)")
+	workers := flag.Int("workers", 0, "concurrent (design × engine) jobs per driver (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	opt := experiments.Options{
 		Scale:           *scale,
 		Threads:         *threads,
 		MeasureOriginal: *measure,
+		Workers:         *workers,
 	}
 	if *designs != "" {
 		opt.Designs = strings.Split(*designs, ",")

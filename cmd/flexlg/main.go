@@ -3,48 +3,75 @@
 //
 // Usage:
 //
-//	flexlg -engine flex|mgl|mgl-mt|gpu|analytical [-threads 8]
-//	       [-in design.flexpl] [-out legal.flexpl]
+//	flexlg -engine flex|mgl|mgl-mt|gpu|analytical|all [-threads 8]
+//	       [-workers N] [-in design.flexpl] [-out legal.flexpl]
 //
-// With no -in, a small built-in demo design is generated.
+// -engine accepts a comma-separated list (or "all"); multiple engines run
+// concurrently through flex.LegalizeBatch with -workers goroutines and are
+// reported side by side. With no -in, a small built-in demo design is
+// generated.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	flex "github.com/flex-eda/flex"
 )
 
+var engineNames = map[string]flex.Engine{
+	"flex":       flex.EngineFLEX,
+	"mgl":        flex.EngineMGL,
+	"mgl-mt":     flex.EngineMGLMT,
+	"gpu":        flex.EngineGPU,
+	"analytical": flex.EngineAnalytical,
+}
+
+// allEngines is the -engine all expansion. FLEX leads so that -out (which
+// writes the first selected engine's layout) captures the headline engine's
+// result, not a baseline's.
+var allEngines = []string{"flex", "mgl", "mgl-mt", "gpu", "analytical"}
+
+func parseEngines(s string) ([]flex.Engine, []string, error) {
+	names := strings.Split(s, ",")
+	if s == "all" {
+		names = allEngines
+	}
+	engines := make([]flex.Engine, 0, len(names))
+	clean := make([]string, 0, len(names))
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		e, ok := engineNames[n]
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown engine %q", n)
+		}
+		engines = append(engines, e)
+		clean = append(clean, n)
+	}
+	return engines, clean, nil
+}
+
 func main() {
-	engineName := flag.String("engine", "flex", "engine: flex, mgl, mgl-mt, gpu, analytical")
+	engineList := flag.String("engine", "flex", "engine: flex, mgl, mgl-mt, gpu, analytical; comma-separated list or \"all\" compares engines")
 	threads := flag.Int("threads", 8, "threads for mgl-mt")
+	workers := flag.Int("workers", 0, "concurrent engine runs when several engines are selected (0 = GOMAXPROCS)")
 	in := flag.String("in", "", "input flexpl file (default: generated demo)")
-	out := flag.String("out", "", "output flexpl file (default: stdout suppressed)")
+	out := flag.String("out", "", "output flexpl file, written from the first selected engine (default: stdout suppressed)")
 	demoCells := flag.Int("demo-cells", 2000, "demo design cell count when no -in")
 	demoDensity := flag.Float64("demo-density", 0.6, "demo design density when no -in")
 	flag.Parse()
 
-	var engine flex.Engine
-	switch *engineName {
-	case "flex":
-		engine = flex.EngineFLEX
-	case "mgl":
-		engine = flex.EngineMGL
-	case "mgl-mt":
-		engine = flex.EngineMGLMT
-	case "gpu":
-		engine = flex.EngineGPU
-	case "analytical":
-		engine = flex.EngineAnalytical
-	default:
-		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engineName)
+	engines, names, err := parseEngines(*engineList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
 	var layout *flex.Layout
-	var err error
 	if *in != "" {
 		f, err2 := os.Open(*in)
 		if err2 != nil {
@@ -61,38 +88,68 @@ func main() {
 		os.Exit(1)
 	}
 
-	result, err := flex.LegalizeWith(layout, engine, flex.Options{Threads: *threads})
+	// One job per engine over the shared input layout (engines legalize
+	// clones); a single engine degenerates to one worker.
+	jobs := make([]flex.BatchJob, len(engines))
+	for i, e := range engines {
+		jobs[i] = flex.BatchJob{
+			Layout:  layout,
+			Engine:  e,
+			Options: flex.Options{Threads: *threads},
+			Tag:     names[i],
+		}
+	}
+	sum, err := flex.LegalizeBatch(context.Background(), jobs, flex.BatchOptions{Workers: *workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("engine:          %s\n", result.Engine)
-	fmt.Printf("cells:           %d movable\n", result.Metrics.Movable)
-	fmt.Printf("legal:           %v\n", result.Legal)
-	fmt.Printf("aveDis (rows):   %.3f\n", result.Metrics.AveDis)
-	fmt.Printf("maxDis (rows):   %.3f\n", result.Metrics.MaxDis)
-	fmt.Printf("modeled seconds: %.6f\n", result.ModeledSeconds)
-	if !result.Legal {
-		for _, v := range result.Violations {
-			fmt.Printf("violation: %v\n", v)
+	exit := 0
+	for _, r := range sum.Results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Tag, r.Err)
+			exit = 1
+			continue
 		}
+		res := r.Outcome
+		fmt.Printf("engine:          %s\n", res.Engine)
+		fmt.Printf("cells:           %d movable\n", res.Metrics.Movable)
+		fmt.Printf("legal:           %v\n", res.Legal)
+		fmt.Printf("aveDis (rows):   %.3f\n", res.Metrics.AveDis)
+		fmt.Printf("maxDis (rows):   %.3f\n", res.Metrics.MaxDis)
+		fmt.Printf("modeled seconds: %.6f\n", res.ModeledSeconds)
+		if !res.Legal {
+			exit = 1
+			for _, v := range res.Violations {
+				fmt.Printf("violation: %v\n", v)
+			}
+		}
+		fmt.Println()
+	}
+	if len(sum.Results) > 1 {
+		fmt.Printf("batch:           %d engines, %d workers, wall %v (summed job wall %v)\n",
+			len(sum.Results), sum.Workers,
+			sum.Wall.Round(time.Millisecond), sum.WorkWall.Round(time.Millisecond))
 	}
 
 	if *out != "" {
+		first := sum.Results[0]
+		if first.Err != nil || first.Outcome == nil {
+			fmt.Fprintf(os.Stderr, "cannot write -out: first engine failed\n")
+			os.Exit(1)
+		}
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := flex.WriteLayout(f, result.Layout); err != nil {
+		if err := flex.WriteLayout(f, first.Outcome.Layout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote:           %s\n", *out)
 	}
-	if !result.Legal {
-		os.Exit(1)
-	}
+	os.Exit(exit)
 }

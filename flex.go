@@ -18,10 +18,14 @@
 package flex
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"github.com/flex-eda/flex/internal/analytical"
+	"github.com/flex-eda/flex/internal/batch"
 	"github.com/flex-eda/flex/internal/core"
 	"github.com/flex-eda/flex/internal/fpga"
 	"github.com/flex-eda/flex/internal/gen"
@@ -163,6 +167,124 @@ func LegalizeWith(l *Layout, engine Engine, opt Options) (*Outcome, error) {
 	}
 	return out, nil
 }
+
+// BatchJob describes one legalization job for LegalizeBatch. Either set
+// Layout directly, or name a Design (see Designs) and a Scale to have the
+// job synthesize its own benchmark on a worker goroutine.
+type BatchJob struct {
+	// Design names a built-in benchmark to generate; ignored when Layout
+	// is set.
+	Design string
+	// Scale is the generation scale factor (0 = 1.0, the paper's size).
+	Scale float64
+	// Layout is an explicit input layout. Engines legalize a clone, so the
+	// same layout may be shared by several jobs.
+	Layout *Layout
+	// Engine selects the legalizer.
+	Engine Engine
+	// Options tunes the engine (zero value = paper defaults).
+	Options Options
+	// Tag is an optional caller label echoed in the job's BatchResult.
+	Tag string
+}
+
+// BatchOptions tunes a LegalizeBatch run.
+type BatchOptions struct {
+	// Workers bounds concurrently running jobs (<= 0 = GOMAXPROCS).
+	Workers int
+	// FailFast cancels the remaining jobs after the first error instead of
+	// capturing every job's error independently.
+	FailFast bool
+}
+
+// BatchResult is one job's outcome within a batch.
+type BatchResult struct {
+	// Index is the job's position in the submitted slice.
+	Index int
+	// Tag echoes the job's Tag.
+	Tag string
+	// Outcome is the finished legalization (nil when Err is set).
+	Outcome *Outcome
+	// Err is this job's failure, if any. Jobs that never started because
+	// the batch was canceled report an error matched by IsBatchSkipped.
+	Err error
+	// Wall is the job's own wall-clock time.
+	Wall time.Duration
+}
+
+// BatchSummary is a finished batch: per-job results in submission order
+// plus aggregate statistics.
+type BatchSummary struct {
+	// Results holds one entry per submitted job, in submission order
+	// regardless of worker count or completion order.
+	Results []BatchResult
+	// Errors counts jobs that ran and failed; Skipped counts jobs the
+	// batch canceled before they started.
+	Errors  int
+	Skipped int
+	// Workers is the effective pool size.
+	Workers int
+	// Wall is the batch's wall-clock time; WorkWall sums per-job wall
+	// clocks (WorkWall/Wall approximates the achieved overlap).
+	Wall     time.Duration
+	WorkWall time.Duration
+	// ModeledSeconds sums the deterministic modeled runtime of every
+	// successful job — the batch's total simulated accelerator time.
+	ModeledSeconds float64
+}
+
+// LegalizeBatch fans independent legalization jobs across a bounded worker
+// pool and collects every outcome. Results keep submission order and each
+// job's error is captured in its own BatchResult (no fail-fast unless
+// requested), so a batch over N workers is byte-identical to a serial run —
+// engines are deterministic and legalize clones of their inputs. The
+// returned error is non-nil only when the batch as a whole stopped early:
+// ctx was canceled, or BatchOptions.FailFast tripped on the first job error.
+func LegalizeBatch(ctx context.Context, jobs []BatchJob, opt BatchOptions) (*BatchSummary, error) {
+	bjobs := make([]batch.Job[*Outcome], len(jobs))
+	for i, j := range jobs {
+		j := j
+		bjobs[i] = func(ctx context.Context) (*Outcome, error) {
+			l := j.Layout
+			if l == nil {
+				scale := j.Scale
+				if scale == 0 {
+					scale = 1.0
+				}
+				var err error
+				if l, err = Generate(j.Design, scale); err != nil {
+					return nil, err
+				}
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return LegalizeWith(l, j.Engine, j.Options)
+		}
+	}
+	results, stats, err := batch.Run(ctx, bjobs, batch.Options{Workers: opt.Workers, FailFast: opt.FailFast})
+	sum := &BatchSummary{
+		Results: make([]BatchResult, len(results)),
+		Errors:  stats.Errors,
+		Skipped: stats.Skipped,
+		Workers: stats.Workers,
+		Wall:    stats.Wall, WorkWall: stats.WorkWall,
+	}
+	for i, r := range results {
+		sum.Results[i] = BatchResult{
+			Index: r.Index, Tag: jobs[i].Tag,
+			Outcome: r.Value, Err: r.Err, Wall: r.Wall,
+		}
+		if r.Err == nil && r.Value != nil {
+			sum.ModeledSeconds += r.Value.ModeledSeconds
+		}
+	}
+	return sum, err
+}
+
+// IsBatchSkipped reports whether a BatchResult's error means the job never
+// started because the batch was canceled (context or fail-fast).
+func IsBatchSkipped(err error) bool { return errors.Is(err, batch.ErrSkipped) }
 
 // Designs lists the available benchmark names: the 16 IC/CAD 2017 designs
 // of the paper's Table 1 plus the two superblue-scale designs of Fig. 2(b).

@@ -1,0 +1,3 @@
+module github.com/flex-eda/flex
+
+go 1.22

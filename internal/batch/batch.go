@@ -1,0 +1,190 @@
+// Package batch is the host-side job orchestrator: a context-aware bounded
+// worker pool that fans independent legalization jobs across goroutines and
+// reports per-job results without losing submission order.
+//
+// The pool mirrors the paper's host/accelerator split one level up: the FLEX
+// engine overlaps CPU steps with the FPGA pipeline inside one design, and
+// this package overlaps whole (design × engine × scale) jobs across cores,
+// the way OpenPARF/SYNERGY-style hosts multiplex many placement jobs over
+// shared accelerator resources.
+//
+// Determinism contract: jobs must be pure functions of their inputs (every
+// engine in this repo is — modeled seconds come from operation traces, not
+// wall clocks). Run then returns identical results for any worker count;
+// only the wall-clock stats change.
+package batch
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ErrSkipped marks a job that never started because the batch was canceled
+// first — either by the parent context or by FailFast after an earlier
+// job's error.
+var ErrSkipped = errors.New("batch: job skipped (batch canceled)")
+
+// Job is one unit of work. The context is the batch's: it is canceled when
+// the parent context is canceled or, under FailFast, after the first error.
+type Job[T any] func(ctx context.Context) (T, error)
+
+// Result is one job's outcome.
+type Result[T any] struct {
+	// Index is the job's submission index; Run returns results sorted by it.
+	Index int
+	Value T
+	Err   error
+	// Wall is the job's own wall-clock time (zero for skipped jobs).
+	Wall time.Duration
+}
+
+// Options tunes a batch run.
+type Options struct {
+	// Workers bounds the number of concurrently running jobs.
+	// <= 0 means GOMAXPROCS.
+	Workers int
+	// FailFast cancels the rest of the batch after the first job error.
+	// Jobs already in flight finish; jobs not yet started are reported
+	// with ErrSkipped. The default runs every job and captures each
+	// error in its own Result.
+	FailFast bool
+}
+
+func (o Options) workers(jobs int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Stats aggregates a finished run.
+type Stats struct {
+	Jobs    int
+	Errors  int // jobs that ran and returned an error
+	Skipped int // jobs never started (cancellation or fail-fast)
+	Workers int // effective pool size
+	// Wall is the whole batch's wall-clock time; WorkWall is the sum of
+	// per-job wall clocks. WorkWall/Wall approximates the achieved overlap
+	// (per-job wall includes CPU contention when workers exceed cores).
+	Wall     time.Duration
+	WorkWall time.Duration
+}
+
+// Stream executes jobs across a bounded worker pool and sends every job's
+// Result on the returned channel in completion order (use Result.Index to
+// reorder). Exactly len(jobs) results are sent — skipped jobs carry
+// ErrSkipped — and the channel is closed afterwards. Callers must drain the
+// channel (cancel the context to stop early); abandoning it leaks workers.
+func Stream[T any](ctx context.Context, jobs []Job[T], opt Options) <-chan Result[T] {
+	out := make(chan Result[T])
+	go func() {
+		defer close(out)
+		if len(jobs) == 0 {
+			return
+		}
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+
+		idx := make(chan int)
+		var skipped sync.Map // indexes the feeder abandoned
+		go func() {
+			defer close(idx)
+			for i := range jobs {
+				select {
+				case idx <- i:
+				case <-ctx.Done():
+					skipped.Store(i, true)
+				}
+			}
+		}()
+
+		var wg sync.WaitGroup
+		for w := 0; w < opt.workers(len(jobs)); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					if ctx.Err() != nil {
+						out <- Result[T]{Index: i, Err: ErrSkipped}
+						continue
+					}
+					start := time.Now()
+					v, err := jobs[i](ctx)
+					if err != nil && opt.FailFast {
+						cancel()
+					}
+					out <- Result[T]{Index: i, Value: v, Err: err, Wall: time.Since(start)}
+				}
+			}()
+		}
+		wg.Wait()
+		skipped.Range(func(k, _ any) bool {
+			out <- Result[T]{Index: k.(int), Err: ErrSkipped}
+			return true
+		})
+	}()
+	return out
+}
+
+// Run executes jobs across a bounded worker pool and returns one Result per
+// job in submission order, plus aggregate stats. Per-job errors are captured
+// in the results, not returned: the error is non-nil only when the batch as
+// a whole stopped early — the parent context was canceled before every job
+// ran, or FailFast tripped (then it is the first job error, and later jobs
+// carry ErrSkipped).
+func Run[T any](ctx context.Context, jobs []Job[T], opt Options) ([]Result[T], Stats, error) {
+	start := time.Now()
+	results := make([]Result[T], len(jobs))
+	for r := range Stream(ctx, jobs, opt) {
+		results[r.Index] = r
+	}
+	st := Stats{Jobs: len(jobs), Workers: opt.workers(len(jobs)), Wall: time.Since(start)}
+	var firstErr error
+	for i := range results {
+		r := &results[i]
+		st.WorkWall += r.Wall
+		switch {
+		case errors.Is(r.Err, ErrSkipped):
+			st.Skipped++
+		case r.Err != nil:
+			st.Errors++
+			if firstErr == nil {
+				firstErr = r.Err
+			}
+		}
+	}
+	// A context error only fails the batch if it actually cut jobs short;
+	// a deadline firing after the last job completed leaves a full,
+	// perfectly good result set.
+	if err := ctx.Err(); err != nil && st.Skipped > 0 {
+		return results, st, err
+	}
+	if opt.FailFast && firstErr != nil {
+		return results, st, firstErr
+	}
+	return results, st, nil
+}
+
+// Values unwraps a fully successful result set into plain values, in
+// submission order. It returns the first per-job error it finds, so callers
+// that want all-or-nothing semantics can collapse Run's output in one step.
+func Values[T any](results []Result[T]) ([]T, error) {
+	out := make([]T, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		out[i] = r.Value
+	}
+	return out, nil
+}

@@ -1,0 +1,238 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// squares builds n jobs whose values depend only on their index, so any
+// worker count must reproduce the same result set.
+func squares(n int) []Job[int] {
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) { return i * i, nil }
+	}
+	return jobs
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	jobs := squares(64)
+	var want []int
+	for _, workers := range []int{1, 2, 4, 8, 64, 0} {
+		results, st, err := Run(context.Background(), jobs, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got, err := Values(results)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = got
+		}
+		for i := range got {
+			if got[i] != want[i] || got[i] != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, got[i], i*i)
+			}
+			if results[i].Index != i {
+				t.Fatalf("workers=%d: results not in submission order at %d", workers, i)
+			}
+		}
+		if st.Jobs != 64 || st.Errors != 0 || st.Skipped != 0 {
+			t.Fatalf("workers=%d: stats %+v", workers, st)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, max atomic.Int32
+	jobs := make([]Job[struct{}], 24)
+	for i := range jobs {
+		jobs[i] = func(context.Context) (struct{}, error) {
+			n := cur.Add(1)
+			for {
+				m := max.Load()
+				if n <= m || max.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return struct{}{}, nil
+		}
+	}
+	if _, _, err := Run(context.Background(), jobs, Options{Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	if got := max.Load(); got > workers {
+		t.Fatalf("observed %d concurrent jobs, pool bound is %d", got, workers)
+	}
+}
+
+func TestRunErrorIsolation(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := make([]Job[int], 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) {
+			if i%3 == 0 {
+				return 0, fmt.Errorf("job %d: %w", i, boom)
+			}
+			return i, nil
+		}
+	}
+	results, st, err := Run(context.Background(), jobs, Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("non-fail-fast run surfaced batch error: %v", err)
+	}
+	for i, r := range results {
+		if i%3 == 0 {
+			if !errors.Is(r.Err, boom) {
+				t.Fatalf("job %d: err = %v, want boom", i, r.Err)
+			}
+		} else if r.Err != nil || r.Value != i {
+			t.Fatalf("job %d poisoned by sibling failure: %+v", i, r)
+		}
+	}
+	if st.Errors != 4 || st.Skipped != 0 {
+		t.Fatalf("stats %+v, want 4 errors, 0 skipped", st)
+	}
+	if _, err := Values(results); !errors.Is(err, boom) {
+		t.Fatalf("Values err = %v, want boom", err)
+	}
+}
+
+func TestRunFailFastSkipsRemainder(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	jobs := make([]Job[int], 100)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) {
+			ran.Add(1)
+			if i == 0 {
+				return 0, boom
+			}
+			time.Sleep(time.Millisecond)
+			return i, nil
+		}
+	}
+	results, st, err := Run(context.Background(), jobs, Options{Workers: 2, FailFast: true})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want first job error", err)
+	}
+	if st.Skipped == 0 {
+		t.Fatal("fail-fast run skipped nothing")
+	}
+	if int(ran.Load())+st.Skipped != len(jobs) {
+		t.Fatalf("ran %d + skipped %d != %d jobs", ran.Load(), st.Skipped, len(jobs))
+	}
+	for _, r := range results[1:] {
+		if r.Err != nil && !errors.Is(r.Err, ErrSkipped) {
+			t.Fatalf("job %d: unexpected err %v", r.Index, r.Err)
+		}
+	}
+}
+
+func TestRunContextCancellationMidBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	release := make(chan struct{})
+	var once sync.Once
+	jobs := make([]Job[int], 50)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(ctx context.Context) (int, error) {
+			once.Do(func() { cancel(); close(release) })
+			<-release
+			return i, nil
+		}
+	}
+	results, st, err := Run(ctx, jobs, Options{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Skipped == 0 {
+		t.Fatal("cancellation mid-batch skipped nothing")
+	}
+	completed := 0
+	for _, r := range results {
+		switch {
+		case r.Err == nil:
+			completed++
+		case errors.Is(r.Err, ErrSkipped):
+		default:
+			t.Fatalf("job %d: unexpected err %v", r.Index, r.Err)
+		}
+	}
+	if completed == 0 {
+		t.Fatal("in-flight jobs should finish and report")
+	}
+	if completed+st.Skipped != len(jobs) {
+		t.Fatalf("completed %d + skipped %d != %d", completed, st.Skipped, len(jobs))
+	}
+}
+
+func TestRunCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, st, err := Run(ctx, squares(8), Options{Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if st.Skipped != 8 {
+		t.Fatalf("skipped = %d, want 8", st.Skipped)
+	}
+	for _, r := range results {
+		if !errors.Is(r.Err, ErrSkipped) {
+			t.Fatalf("job %d: err = %v, want ErrSkipped", r.Index, r.Err)
+		}
+	}
+}
+
+func TestStreamCompletionOrderCoversAllJobs(t *testing.T) {
+	seen := make(map[int]bool)
+	for r := range Stream(context.Background(), squares(32), Options{Workers: 5}) {
+		if seen[r.Index] {
+			t.Fatalf("job %d reported twice", r.Index)
+		}
+		seen[r.Index] = true
+		if r.Err != nil || r.Value != r.Index*r.Index {
+			t.Fatalf("bad result %+v", r)
+		}
+	}
+	if len(seen) != 32 {
+		t.Fatalf("stream reported %d of 32 jobs", len(seen))
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	results, st, err := Run(context.Background(), []Job[int](nil), Options{})
+	if err != nil || len(results) != 0 || st.Jobs != 0 {
+		t.Fatalf("empty batch: results=%v stats=%+v err=%v", results, st, err)
+	}
+}
+
+func TestStatsWorkWallReflectsParallelism(t *testing.T) {
+	jobs := make([]Job[int], 8)
+	for i := range jobs {
+		jobs[i] = func(context.Context) (int, error) {
+			time.Sleep(5 * time.Millisecond)
+			return 0, nil
+		}
+	}
+	_, st, err := Run(context.Background(), jobs, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WorkWall < st.Wall {
+		t.Fatalf("summed job wall %v below batch wall %v despite 4 workers", st.WorkWall, st.Wall)
+	}
+}

@@ -1,13 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/flex-eda/flex/internal/batch"
 	"github.com/flex-eda/flex/internal/core"
 	"github.com/flex-eda/flex/internal/fpga"
 	"github.com/flex-eda/flex/internal/gen"
 	"github.com/flex-eda/flex/internal/gpu"
 	"github.com/flex-eda/flex/internal/mgl"
+	"github.com/flex-eda/flex/internal/model"
 	"github.com/flex-eda/flex/internal/perf"
 	"github.com/flex-eda/flex/internal/report"
 )
@@ -19,8 +22,13 @@ type ThreadPoint struct {
 	Speedup float64 // vs 1 thread
 }
 
+// fig2aThreads are the thread counts of the paper's Fig. 2(a) sweep.
+var fig2aThreads = []int{1, 2, 4, 8, 10}
+
 // Fig2a measures the multi-threaded CPU baseline at 1/2/4/8/10 threads on
-// the first selected design (saturation behaviour, Fig. 2(a)).
+// the first selected design (saturation behaviour, Fig. 2(a)). The layout is
+// generated once and shared: engines legalize clones, so one thread-count
+// job per pool worker can run concurrently.
 func Fig2a(opt Options) ([]ThreadPoint, error) {
 	opt = opt.withDefaults()
 	suite := opt.suite()
@@ -31,21 +39,25 @@ func Fig2a(opt Options) ([]ThreadPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	var base float64
-	var out []ThreadPoint
-	for _, th := range []int{1, 2, 4, 8, 10} {
-		res := mgl.Legalize(l, mgl.Config{Threads: th})
-		var secs float64
-		if th == 1 {
-			secs = perf.DefaultCPU.Seconds(res.Stats.WorkSerial)
-		} else {
-			secs = perf.DefaultCPU.ParallelSeconds(res.Stats.WorkSerial,
-				res.Stats.WorkCritical, int(res.Stats.Batches), th)
+	jobs := make([]batch.Job[float64], len(fig2aThreads))
+	for i, th := range fig2aThreads {
+		jobs[i] = func(context.Context) (float64, error) {
+			res := mgl.Legalize(l, mgl.Config{Threads: th})
+			if th == 1 {
+				return perf.DefaultCPU.Seconds(res.Stats.WorkSerial), nil
+			}
+			return perf.DefaultCPU.ParallelSeconds(res.Stats.WorkSerial,
+				res.Stats.WorkCritical, int(res.Stats.Batches), th), nil
 		}
-		if th == 1 {
-			base = secs
-		}
-		out = append(out, ThreadPoint{Threads: th, Seconds: secs, Speedup: base / secs})
+	}
+	secs, err := run(opt, jobs)
+	if err != nil {
+		return nil, err
+	}
+	base := secs[0]
+	out := make([]ThreadPoint, len(fig2aThreads))
+	for i, th := range fig2aThreads {
+		out[i] = ThreadPoint{Threads: th, Seconds: secs[i], Speedup: base / secs[i]}
 	}
 	return out, nil
 }
@@ -69,17 +81,11 @@ type SyncPoint struct {
 // superblue-scale designs.
 func Fig2b(opt Options) ([]SyncPoint, error) {
 	opt = opt.withDefaults()
-	var out []SyncPoint
-	for _, spec := range gen.Superblue() {
-		// Superblue designs are huge; scale them harder.
-		l, err := spec.Generate(opt.Scale / 4)
-		if err != nil {
-			return nil, err
-		}
+	// Superblue designs are huge; scale them harder.
+	return perSpec(opt, gen.Superblue(), opt.Scale/4, func(spec gen.Spec, l *model.Layout) (SyncPoint, error) {
 		res := gpu.Legalize(l, gpu.Config{})
-		out = append(out, SyncPoint{Name: spec.Name, SyncShare: res.GPU.SyncShare(res.TotalSeconds)})
-	}
-	return out, nil
+		return SyncPoint{Name: spec.Name, SyncShare: res.GPU.SyncShare(res.TotalSeconds)}, nil
+	})
 }
 
 // RenderFig2b renders the sync-share series.
@@ -103,23 +109,17 @@ type ParallelismPoint struct {
 // Fig2c measures the maximum kernel batch size of the CPU-GPU baseline.
 func Fig2c(opt Options) ([]ParallelismPoint, error) {
 	opt = opt.withDefaults()
-	var out []ParallelismPoint
-	for _, spec := range gen.Superblue() {
-		l, err := spec.Generate(opt.Scale / 4)
-		if err != nil {
-			return nil, err
-		}
+	return perSpec(opt, gen.Superblue(), opt.Scale/4, func(spec gen.Spec, l *model.Layout) (ParallelismPoint, error) {
 		res := gpu.Legalize(l, gpu.Config{BatchMax: 4096, Lookahead: 8192})
 		avg := 0.0
 		if res.GPU.Rounds > 0 {
 			avg = float64(res.GPU.BatchSum) / float64(res.GPU.Rounds)
 		}
-		out = append(out, ParallelismPoint{
+		return ParallelismPoint{
 			Name: spec.Name, MaxBatch: res.GPU.MaxBatch, AvgBatch: avg,
 			CUDACores: gpu.GTX1660Ti.CUDACores,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RenderFig2c renders the parallelism table.
@@ -143,18 +143,12 @@ type ShiftSharePoint struct {
 func Fig2g(opt Options) ([]ShiftSharePoint, error) {
 	opt = opt.withDefaults()
 	w := perf.DefaultWeights
-	var out []ShiftSharePoint
-	for _, spec := range opt.suite() {
-		l, err := spec.Generate(opt.Scale)
-		if err != nil {
-			return nil, err
-		}
+	return perSpec(opt, opt.suite(), opt.Scale, func(spec gen.Spec, l *model.Layout) (ShiftSharePoint, error) {
 		res := mgl.Legalize(l, mgl.Config{})
 		shift := w.ShiftWork(res.Stats.FOP.Shift)
 		curve := w.CurveWork(res.Stats.FOP.Curve)
-		out = append(out, ShiftSharePoint{Name: spec.Name, ShiftShare: shift / (shift + curve)})
-	}
-	return out, nil
+		return ShiftSharePoint{Name: spec.Name, ShiftShare: shift / (shift + curve)}, nil
+	})
 }
 
 // RenderFig2g renders the shift-share series.
@@ -179,12 +173,7 @@ type SortOverheadPoint struct {
 // of both shifting algorithms.
 func Fig6g(opt Options) ([]SortOverheadPoint, error) {
 	opt = opt.withDefaults()
-	var out []SortOverheadPoint
-	for _, spec := range opt.suite() {
-		l, err := spec.Generate(opt.Scale)
-		if err != nil {
-			return nil, err
-		}
+	return perSpec(opt, opt.suite(), opt.Scale, func(spec gen.Spec, l *model.Layout) (SortOverheadPoint, error) {
 		traces, res := traceDesign(l, true)
 		var sortCycles, total float64
 		for _, tr := range traces {
@@ -196,14 +185,13 @@ func Fig6g(opt Options) ([]SortOverheadPoint, error) {
 		if points > 0 {
 			origPasses = float64(res.Stats.FOP.OriginalShift.Passes) / float64(points)
 		}
-		out = append(out, SortOverheadPoint{
+		return SortOverheadPoint{
 			Name:          spec.Name,
 			SortShare:     sortCycles / total,
 			OrigPassesAvg: origPasses,
 			SACSPassesAvg: 2,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RenderFig6g renders the sort-overhead table.
@@ -235,21 +223,15 @@ func Fig8(opt Options) ([]LadderPoint, error) {
 		{Pipeline: fpga.MultiGranularity, SACS: fpga.SACSParal, NumPE: 1},
 		{Pipeline: fpga.MultiGranularity, SACS: fpga.SACSParal, NumPE: 2},
 	}
-	var out []LadderPoint
-	for _, spec := range opt.suite() {
-		l, err := spec.Generate(opt.Scale)
-		if err != nil {
-			return nil, err
-		}
+	return perSpec(opt, opt.suite(), opt.Scale, func(spec gen.Spec, l *model.Layout) (LadderPoint, error) {
 		traces, _ := traceDesign(l, opt.MeasureOriginal)
 		base := sumCycles(configs[0], traces)
 		p := LadderPoint{Name: spec.Name, Normal: 1}
 		p.SACS = base / sumCycles(configs[1], traces)
 		p.MG = base / sumCycles(configs[2], traces)
 		p.TwoPE = base / sumCycles(configs[3], traces)
-		out = append(out, p)
-	}
-	return out, nil
+		return p, nil
+	})
 }
 
 // RenderFig8 renders the pipeline ladder.
@@ -277,12 +259,7 @@ type SACSLadderPoint struct {
 func Fig9(opt Options) ([]SACSLadderPoint, error) {
 	opt = opt.withDefaults()
 	levels := []fpga.SACSLevel{fpga.SACSBase, fpga.SACSArch, fpga.SACSImpBW, fpga.SACSParal}
-	var out []SACSLadderPoint
-	for _, spec := range opt.suite() {
-		l, err := spec.Generate(opt.Scale)
-		if err != nil {
-			return nil, err
-		}
+	return perSpec(opt, opt.suite(), opt.Scale, func(spec gen.Spec, l *model.Layout) (SACSLadderPoint, error) {
 		traces, _ := traceDesign(l, false)
 		cycles := make([]float64, len(levels))
 		for i, lvl := range levels {
@@ -291,16 +268,14 @@ func Fig9(opt Options) ([]SACSLadderPoint, error) {
 				cycles[i] += cfg.ShiftCycles(tr)
 			}
 		}
-		p := SACSLadderPoint{
+		return SACSLadderPoint{
 			Name: spec.Name, Base: 1,
 			Arch:     cycles[0] / cycles[1],
 			ImpBW:    cycles[0] / cycles[2],
 			Paral:    cycles[0] / cycles[3],
 			TallFrac: spec.TallFraction(),
-		}
-		out = append(out, p)
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RenderFig9 renders the SACS ladder.
@@ -320,18 +295,34 @@ type AssignPoint struct {
 	Ratio float64 // time(d+e on FPGA) / time(d on FPGA): >1 favours the paper's choice
 }
 
-// Fig10 compares the two task assignments end to end.
+// Fig10 compares the two task assignments end to end, fanning one job per
+// (design × assignment) pair over lazily shared per-design layouts.
 func Fig10(opt Options) ([]AssignPoint, error) {
 	opt = opt.withDefaults()
-	var out []AssignPoint
-	for _, spec := range opt.suite() {
-		l, err := spec.Generate(opt.Scale)
-		if err != nil {
-			return nil, err
+	suite := opt.suite()
+	layouts := lazyLayouts(suite, opt.Scale)
+	assignments := []core.TaskAssignment{core.FOPOnFPGA, core.FOPAndInsertOnFPGA}
+	jobs := make([]batch.Job[float64], 0, len(suite)*len(assignments))
+	for _, layout := range layouts {
+		for _, a := range assignments {
+			layout, a := layout, a
+			jobs = append(jobs, func(context.Context) (float64, error) {
+				l, err := layout()
+				if err != nil {
+					return 0, err
+				}
+				return core.Legalize(l, core.Config{Assignment: a}).TotalSeconds, nil
+			})
 		}
-		dOnly := core.Legalize(l, core.Config{Assignment: core.FOPOnFPGA})
-		dAndE := core.Legalize(l, core.Config{Assignment: core.FOPAndInsertOnFPGA})
-		out = append(out, AssignPoint{Name: spec.Name, Ratio: dAndE.TotalSeconds / dOnly.TotalSeconds})
+	}
+	secs, err := run(opt, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AssignPoint, len(suite))
+	for i, spec := range suite {
+		dOnly, dAndE := secs[i*2], secs[i*2+1]
+		out[i] = AssignPoint{Name: spec.Name, Ratio: dAndE / dOnly}
 	}
 	return out, nil
 }

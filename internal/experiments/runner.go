@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/flex-eda/flex/internal/batch"
+	"github.com/flex-eda/flex/internal/gen"
+	"github.com/flex-eda/flex/internal/model"
+)
+
+// run fans jobs across the driver's worker pool (Options.Workers; <= 0 =
+// GOMAXPROCS) and collapses the results in submission order, failing on the
+// first job error. Every driver routes its (design × engine × config)
+// fan-out through here instead of a hand-rolled serial loop; because the
+// engines are deterministic and jobs are independent, any worker count
+// produces identical tables. Drivers want all-or-nothing results, so the
+// batch fails fast: one job error stops scheduling instead of burning the
+// rest of the suite.
+func run[T any](opt Options, jobs []batch.Job[T]) ([]T, error) {
+	results, _, err := batch.Run(context.Background(), jobs,
+		batch.Options{Workers: opt.Workers, FailFast: true})
+	if err != nil {
+		return nil, err
+	}
+	return batch.Values(results)
+}
+
+// lazyLayouts returns one memoized generator per spec for drivers whose
+// jobs share a design across several engine/config variants: each design is
+// generated at most once, on first use, by whichever job reaches it first
+// (engines legalize clones, so sharing the pointer is safe). Compared to
+// generating up front this keeps only touched designs resident and lets a
+// fail-fast batch stop before generating the rest of the suite; compared to
+// generating per job it never duplicates work.
+func lazyLayouts(specs []gen.Spec, scale float64) []func() (*model.Layout, error) {
+	out := make([]func() (*model.Layout, error), len(specs))
+	for i, spec := range specs {
+		out[i] = sync.OnceValues(func() (*model.Layout, error) {
+			l, err := spec.Generate(scale)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", spec.Name, err)
+			}
+			return l, nil
+		})
+	}
+	return out
+}
+
+// perSpec builds one job per design spec — generate at scale on the worker,
+// then measure — and runs them through the pool.
+func perSpec[T any](opt Options, specs []gen.Spec, scale float64, measure func(spec gen.Spec, l *model.Layout) (T, error)) ([]T, error) {
+	jobs := make([]batch.Job[T], len(specs))
+	for i, spec := range specs {
+		jobs[i] = func(context.Context) (T, error) {
+			l, err := spec.Generate(scale)
+			if err != nil {
+				var zero T
+				return zero, err
+			}
+			return measure(spec, l)
+		}
+	}
+	return run(opt, jobs)
+}

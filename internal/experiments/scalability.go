@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/flex-eda/flex/internal/batch"
 	"github.com/flex-eda/flex/internal/core"
 	"github.com/flex-eda/flex/internal/fpga"
 	"github.com/flex-eda/flex/internal/model"
@@ -32,7 +34,8 @@ type ScalabilityPoint struct {
 
 // Scalability prices one design's trace set under growing PE counts —
 // the paper's "speedup can be further improved by increasing the number of
-// FOP PEs while BRAM may become a resource bound" projection.
+// FOP PEs while BRAM may become a resource bound" projection. The trace is
+// captured once; one pricing job per PE count then fans across the pool.
 func Scalability(opt Options, maxPE int) ([]ScalabilityPoint, error) {
 	opt = opt.withDefaults()
 	if maxPE < 2 {
@@ -47,27 +50,44 @@ func Scalability(opt Options, maxPE int) ([]ScalabilityPoint, error) {
 		return nil, err
 	}
 	traces, _ := traceDesign(l, false)
-	base := 0.0
-	var out []ScalabilityPoint
+	type priced struct {
+		seconds     float64
+		uramSeconds float64
+		resources   fpga.Resources
+		fitsURAM    bool
+	}
+	jobs := make([]batch.Job[priced], maxPE)
 	for n := 1; n <= maxPE; n++ {
-		cfg := fpga.PEConfig{Pipeline: fpga.MultiGranularity, SACS: fpga.SACSParal, NumPE: n}
-		cycles := sumCycles(cfg, traces)
-		seconds := cfg.Seconds(cycles)
-		if n == 1 {
-			base = seconds
+		n := n
+		jobs[n-1] = func(context.Context) (priced, error) {
+			cfg := fpga.PEConfig{Pipeline: fpga.MultiGranularity, SACS: fpga.SACSParal, NumPE: n}
+			cycles := sumCycles(cfg, traces)
+			uramCfg := cfg
+			uramCfg.ClockMHz = fpga.URAMClockMHz
+			uramRes, urams := fpga.EstimateURAM(n)
+			return priced{
+				seconds:     cfg.Seconds(cycles),
+				uramSeconds: uramCfg.Seconds(cycles),
+				resources:   fpga.Estimate(n),
+				fitsURAM:    uramRes.FitsIn(fpga.AlveoU50) && urams <= fpga.U50URAMs,
+			}, nil
 		}
-		res := fpga.Estimate(n)
-		uramRes, urams := fpga.EstimateURAM(n)
-		uramCfg := cfg
-		uramCfg.ClockMHz = fpga.URAMClockMHz
-		out = append(out, ScalabilityPoint{
-			NumPE:       n,
-			Speedup:     base / seconds,
-			Resources:   res,
-			FitsU50:     res.FitsIn(fpga.AlveoU50),
-			FitsURAM:    uramRes.FitsIn(fpga.AlveoU50) && urams <= fpga.U50URAMs,
-			URAMSpeedup: base / uramCfg.Seconds(cycles),
-		})
+	}
+	pricedPts, err := run(opt, jobs)
+	if err != nil {
+		return nil, err
+	}
+	base := pricedPts[0].seconds
+	out := make([]ScalabilityPoint, maxPE)
+	for i, p := range pricedPts {
+		out[i] = ScalabilityPoint{
+			NumPE:       i + 1,
+			Speedup:     base / p.seconds,
+			Resources:   p.resources,
+			FitsU50:     p.resources.FitsIn(fpga.AlveoU50),
+			FitsURAM:    p.fitsURAM,
+			URAMSpeedup: base / p.uramSeconds,
+		}
 	}
 	return out, nil
 }
@@ -94,25 +114,43 @@ type OrderingPoint struct {
 	GainPct     float64 // positive = sliding window better
 }
 
+// orderingWindows are the two FLEX configurations the ablation compares:
+// size-only ordering (window disabled) vs the paper's 8-target window.
+var orderingWindows = []int{-1, 8}
+
 // OrderingAblation compares FLEX's quality with and without the
-// density-aware sliding-window ordering (Sec. 3.1.2's ~1% claim).
+// density-aware sliding-window ordering (Sec. 3.1.2's ~1% claim), fanning
+// one job per (design × ordering) pair over lazily shared per-design
+// layouts.
 func OrderingAblation(opt Options) ([]OrderingPoint, error) {
 	opt = opt.withDefaults()
-	var out []OrderingPoint
-	for _, spec := range opt.suite() {
-		l, err := spec.Generate(opt.Scale)
-		if err != nil {
-			return nil, err
+	suite := opt.suite()
+	layouts := lazyLayouts(suite, opt.Scale)
+	jobs := make([]batch.Job[float64], 0, len(suite)*len(orderingWindows))
+	for _, layout := range layouts {
+		for _, w := range orderingWindows {
+			layout, w := layout, w
+			jobs = append(jobs, func(context.Context) (float64, error) {
+				l, err := layout()
+				if err != nil {
+					return 0, err
+				}
+				return legalizeFlexOrdering(l, w), nil
+			})
 		}
-		plain := legalizeFlexOrdering(l, -1)
-		sw := legalizeFlexOrdering(l, 8)
+	}
+	aveDis, err := run(opt, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]OrderingPoint, len(suite))
+	for i, spec := range suite {
+		plain, sw := aveDis[i*2], aveDis[i*2+1]
 		gain := 0.0
 		if plain > 0 {
 			gain = (plain - sw) / plain * 100
 		}
-		out = append(out, OrderingPoint{
-			Name: spec.Name, PlainAveDis: plain, SWAveDis: sw, GainPct: gain,
-		})
+		out[i] = OrderingPoint{Name: spec.Name, PlainAveDis: plain, SWAveDis: sw, GainPct: gain}
 	}
 	return out, nil
 }

@@ -1,0 +1,88 @@
+package experiments
+
+import "testing"
+
+// withWorkers returns tiny with an explicit pool size.
+func withWorkers(o Options, n int) Options {
+	o.Workers = n
+	return o
+}
+
+// TestWorkersByteIdenticalTables is the acceptance gate of the concurrent
+// runner: every driver must render byte-identical output at 1 worker and at
+// N workers — the pool may only change wall-clock, never results.
+func TestWorkersByteIdenticalTables(t *testing.T) {
+	type render struct {
+		name string
+		run  func(Options) (string, error)
+	}
+	drivers := []render{
+		{"table1", func(o Options) (string, error) {
+			rows, err := Table1(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderTable1(rows).String(), nil
+		}},
+		{"fig2a", func(o Options) (string, error) {
+			pts, err := Fig2a(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig2a(pts).String(), nil
+		}},
+		{"fig2g", func(o Options) (string, error) {
+			pts, err := Fig2g(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig2g(pts).String(), nil
+		}},
+		{"fig8", func(o Options) (string, error) {
+			pts, err := Fig8(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig8(pts).String(), nil
+		}},
+		{"fig10", func(o Options) (string, error) {
+			pts, err := Fig10(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig10(pts).String(), nil
+		}},
+		{"ordering", func(o Options) (string, error) {
+			pts, err := OrderingAblation(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderOrdering(pts).String(), nil
+		}},
+		{"scalability", func(o Options) (string, error) {
+			pts, err := Scalability(o, 4)
+			if err != nil {
+				return "", err
+			}
+			return RenderScalability(pts).String(), nil
+		}},
+	}
+	for _, d := range drivers {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			t.Parallel()
+			serial, err := d.run(withWorkers(tiny, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := d.run(withWorkers(tiny, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial != parallel {
+				t.Fatalf("%s output differs between 1 and 4 workers:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+					d.name, serial, parallel)
+			}
+		})
+	}
+}
