@@ -5,11 +5,16 @@
 //
 //	flexbench [-exp all|table1|table2|fig2a|fig2b|fig2c|fig2g|fig6g|fig8|fig9|fig10]
 //	          [-scale 0.02] [-designs name1,name2] [-threads 8] [-measure-original]
-//	          [-workers N]
+//	          [-workers N] [-fpgas N]
 //
 // -workers bounds how many (design × engine) jobs run concurrently (0 =
-// GOMAXPROCS). Engines are deterministic, so every worker count prints
+// GOMAXPROCS); -fpgas sets how many physical accelerator boards the host
+// models (default 1, the paper's single Alveo card) — concurrent FLEX jobs
+// serialize their device phase on the boards while CPU-only jobs overlap.
+// Engines are deterministic, so every workers × fpgas combination prints
 // byte-identical tables; -workers 1 forces the old serial behaviour.
+// Scheduling behaviour (device wait vs CPU overlap) is reported per driver
+// on stderr, leaving stdout comparable across configurations.
 //
 // Absolute numbers depend on the scale factor and the platform models; the
 // shapes (who wins, by what factor, where the crossovers are) are the
@@ -22,8 +27,32 @@ import (
 	"os"
 	"strings"
 
+	"github.com/flex-eda/flex/internal/batch"
 	"github.com/flex-eda/flex/internal/experiments"
 )
+
+// reportStats prints one driver's pool statistics — CPU overlap achieved by
+// the workers and contention on the modeled FPGA boards — to stderr so that
+// stdout stays byte-identical across scheduling configurations.
+func reportStats(name string, st batch.Stats) {
+	if st.Jobs == 0 {
+		return
+	}
+	// Overlap counts compute only: a job's wall clock keeps running while
+	// it queues for a board, and that idle time is not CPU overlap.
+	overlap := 0.0
+	if compute := st.WorkWall - st.DeviceWait; st.Wall > 0 && compute > 0 {
+		overlap = float64(compute) / float64(st.Wall)
+	}
+	fpgas := "unlimited"
+	if st.FPGAs > 0 {
+		fpgas = fmt.Sprint(st.FPGAs)
+	}
+	fmt.Fprintf(os.Stderr,
+		"%s: %d jobs / %d workers: wall %v, summed job wall %v (cpu overlap %.2fx); fpgas=%s: %d device acquires (%d contended), wait %v, hold %v\n",
+		name, st.Jobs, st.Workers, st.Wall, st.WorkWall, overlap,
+		fpgas, st.DeviceAcquires, st.DeviceContended, st.DeviceWait, st.DeviceHold)
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig2a, fig2b, fig2c, fig2g, fig6g, fig8, fig9, fig10, scalability, ordering)")
@@ -32,6 +61,7 @@ func main() {
 	threads := flag.Int("threads", 8, "CPU baseline thread count")
 	measure := flag.Bool("measure-original", false, "instrument the original multi-pass shifting (slower, more faithful)")
 	workers := flag.Int("workers", 0, "concurrent (design × engine) jobs per driver (0 = GOMAXPROCS, 1 = serial)")
+	fpgas := flag.Int("fpgas", 1, "modeled FPGA boards shared by concurrent FLEX jobs (negative = unlimited)")
 	flag.Parse()
 
 	opt := experiments.Options{
@@ -39,20 +69,34 @@ func main() {
 		Threads:         *threads,
 		MeasureOriginal: *measure,
 		Workers:         *workers,
+		FPGAs:           *fpgas,
 	}
 	if *designs != "" {
 		opt.Designs = strings.Split(*designs, ",")
 	}
 
+	// runWithStats drives one driver with a fresh stats sink and reports
+	// its scheduling behaviour; run additionally applies the -exp filter
+	// used by the paper experiments (the extension experiments below are
+	// excluded from "all" and filter themselves).
+	runWithStats := func(name string, f func(experiments.Options) error) {
+		var st batch.Stats
+		o := opt
+		o.Stats = &st
+		if err := f(o); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		reportStats(name, st)
+	}
+	ran := false
 	run := func(name string, f func(experiments.Options) error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
+		ran = true
 		fmt.Printf("==> %s\n", name)
-		if err := f(opt); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
-		}
+		runWithStats(name, f)
 		fmt.Println()
 	}
 
@@ -134,21 +178,33 @@ func main() {
 	})
 	// Extension experiments (not paper figures; see EXPERIMENTS.md).
 	if *exp == "scalability" {
+		ran = true
 		fmt.Println("==> scalability")
-		pts, err := experiments.Scalability(opt, 5)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		experiments.RenderScalability(pts).Render(os.Stdout)
+		runWithStats("scalability", func(o experiments.Options) error {
+			pts, err := experiments.Scalability(o, 5)
+			if err != nil {
+				return err
+			}
+			experiments.RenderScalability(pts).Render(os.Stdout)
+			return nil
+		})
 	}
 	if *exp == "ordering" {
+		ran = true
 		fmt.Println("==> ordering")
-		pts, err := experiments.OrderingAblation(opt)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		experiments.RenderOrdering(pts).Render(os.Stdout)
+		runWithStats("ordering", func(o experiments.Options) error {
+			pts, err := experiments.OrderingAblation(o)
+			if err != nil {
+				return err
+			}
+			experiments.RenderOrdering(pts).Render(os.Stdout)
+			return nil
+		})
+	}
+	if !ran {
+		// A typoed -exp must not succeed vacuously — it would turn the
+		// CI byte-compare gate into cmp of two empty files.
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, table1, table2, fig2a, fig2b, fig2c, fig2g, fig6g, fig8, fig9, fig10, scalability, ordering)\n", *exp)
+		os.Exit(2)
 	}
 }

@@ -4,12 +4,14 @@
 // Usage:
 //
 //	flexlg -engine flex|mgl|mgl-mt|gpu|analytical|all [-threads 8]
-//	       [-workers N] [-in design.flexpl] [-out legal.flexpl]
+//	       [-workers N] [-fpgas N] [-in design.flexpl] [-out legal.flexpl]
 //
 // -engine accepts a comma-separated list (or "all"); multiple engines run
-// concurrently through flex.LegalizeBatch with -workers goroutines and are
-// reported side by side. With no -in, a small built-in demo design is
-// generated.
+// concurrently through flex.LegalizeBatch with -workers goroutines, print a
+// live progress line per job on stderr as results stream in, and are
+// reported side by side on stdout in submission order. -fpgas bounds the
+// modeled accelerator boards FLEX jobs contend on (default 1). With no
+// -in, a small built-in demo design is generated.
 package main
 
 import (
@@ -36,21 +38,35 @@ var engineNames = map[string]flex.Engine{
 // result, not a baseline's.
 var allEngines = []string{"flex", "mgl", "mgl-mt", "gpu", "analytical"}
 
+// parseEngines expands a comma-separated engine list (or "all"). Empty
+// entries — a trailing comma, say — are skipped, duplicates run once, and
+// an unknown name is reported with its position in the list.
 func parseEngines(s string) ([]flex.Engine, []string, error) {
 	names := strings.Split(s, ",")
-	if s == "all" {
+	if strings.TrimSpace(s) == "all" {
 		names = allEngines
 	}
 	engines := make([]flex.Engine, 0, len(names))
 	clean := make([]string, 0, len(names))
-	for _, n := range names {
+	seen := make(map[string]bool, len(names))
+	for pos, n := range names {
 		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
 		e, ok := engineNames[n]
 		if !ok {
-			return nil, nil, fmt.Errorf("unknown engine %q", n)
+			return nil, nil, fmt.Errorf("unknown engine %q at position %d (want flex, mgl, mgl-mt, gpu, analytical or all)", n, pos+1)
 		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
 		engines = append(engines, e)
 		clean = append(clean, n)
+	}
+	if len(engines) == 0 {
+		return nil, nil, fmt.Errorf("no engine selected in %q", s)
 	}
 	return engines, clean, nil
 }
@@ -59,6 +75,7 @@ func main() {
 	engineList := flag.String("engine", "flex", "engine: flex, mgl, mgl-mt, gpu, analytical; comma-separated list or \"all\" compares engines")
 	threads := flag.Int("threads", 8, "threads for mgl-mt")
 	workers := flag.Int("workers", 0, "concurrent engine runs when several engines are selected (0 = GOMAXPROCS)")
+	fpgas := flag.Int("fpgas", 1, "modeled FPGA boards shared by concurrent FLEX jobs (negative = unlimited)")
 	in := flag.String("in", "", "input flexpl file (default: generated demo)")
 	out := flag.String("out", "", "output flexpl file, written from the first selected engine (default: stdout suppressed)")
 	demoCells := flag.Int("demo-cells", 2000, "demo design cell count when no -in")
@@ -99,7 +116,28 @@ func main() {
 			Tag:     names[i],
 		}
 	}
-	sum, err := flex.LegalizeBatch(context.Background(), jobs, flex.BatchOptions{Workers: *workers})
+	// Stream a progress line per job in completion order on stderr; the
+	// stdout report below stays in submission order.
+	done := 0
+	progress := func(r flex.BatchResult) {
+		done++
+		status := "ok"
+		switch {
+		case flex.IsBatchSkipped(r.Err):
+			status = "skipped"
+		case r.Err != nil:
+			status = "error"
+		case !r.Outcome.Legal:
+			status = "illegal"
+		}
+		fmt.Fprintf(os.Stderr, "[%d/%d] %-10s %-7s wall %v", done, len(jobs), r.Tag, status, r.Wall.Round(time.Millisecond))
+		if r.DeviceWait > 0 {
+			fmt.Fprintf(os.Stderr, " (fpga wait %v)", r.DeviceWait.Round(time.Microsecond))
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	sum, err := flex.LegalizeBatch(context.Background(), jobs,
+		flex.BatchOptions{Workers: *workers, FPGAs: *fpgas, OnResult: progress})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -128,9 +166,14 @@ func main() {
 		fmt.Println()
 	}
 	if len(sum.Results) > 1 {
-		fmt.Printf("batch:           %d engines, %d workers, wall %v (summed job wall %v)\n",
-			len(sum.Results), sum.Workers,
-			sum.Wall.Round(time.Millisecond), sum.WorkWall.Round(time.Millisecond))
+		fpgaDesc := "unlimited fpgas"
+		if sum.FPGAs > 0 {
+			fpgaDesc = fmt.Sprintf("%d fpgas", sum.FPGAs)
+		}
+		fmt.Printf("batch:           %d engines, %d workers, %s, wall %v (summed job wall %v, fpga wait %v)\n",
+			len(sum.Results), sum.Workers, fpgaDesc,
+			sum.Wall.Round(time.Millisecond), sum.WorkWall.Round(time.Millisecond),
+			sum.DeviceWait.Round(time.Millisecond))
 	}
 
 	if *out != "" {
@@ -139,13 +182,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cannot write -out: first engine failed\n")
 			os.Exit(1)
 		}
+		// Close explicitly — a deferred close would be skipped by os.Exit
+		// and silently drop write-back errors.
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		if err := flex.WriteLayout(f, first.Outcome.Layout); err != nil {
+		err = flex.WriteLayout(f, first.Outcome.Layout)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -97,7 +97,8 @@ type Options struct {
 	// SlidingWindow is FLEX's ordering window (default 8; negative
 	// disables the density reordering).
 	SlidingWindow int
-	// TwoPE selects the 2-parallel FOP PE cluster for FLEX (default true).
+	// OnePE restricts FLEX to a single FOP PE instead of the default
+	// 2-parallel PE cluster (the last rung of the Fig. 8 ladder undone).
 	OnePE bool
 	// OffloadInsert moves step e) to the FPGA (the Fig. 10 ablation).
 	OffloadInsert bool
@@ -188,6 +189,13 @@ type BatchJob struct {
 	Tag string
 }
 
+// NeedsFPGA reports the job's accelerator requirement: FLEX occupies the
+// modeled FPGA for its device phase, while the baselines (MGL, MGL-MT,
+// the GPU and analytical models) are priced entirely host-side. Jobs that
+// need the FPGA serialize on the batch's device tokens (BatchOptions.FPGAs);
+// everything else overlaps freely.
+func (j BatchJob) NeedsFPGA() bool { return j.Engine == EngineFLEX }
+
 // BatchOptions tunes a LegalizeBatch run.
 type BatchOptions struct {
 	// Workers bounds concurrently running jobs (<= 0 = GOMAXPROCS).
@@ -195,7 +203,23 @@ type BatchOptions struct {
 	// FailFast cancels the remaining jobs after the first error instead of
 	// capturing every job's error independently.
 	FailFast bool
+	// FPGAs is the number of physical accelerator boards the batch models
+	// (0 = 1, the paper's single-card host; negative = unlimited, no
+	// device contention). Jobs whose engine needs the FPGA (see
+	// BatchJob.NeedsFPGA) hold one board for their device phase while
+	// CPU-only jobs — and FLEX's own CPU steps, like benchmark generation
+	// — keep overlapping. Capacity never changes results, only wall-clock
+	// and the device-wait statistics.
+	FPGAs int
+	// OnResult, when set, observes every job's BatchResult in completion
+	// order while the batch is still running — the streaming hook for
+	// progress lines. It is called synchronously from the collecting
+	// goroutine; keep it fast.
+	OnResult func(BatchResult)
 }
+
+// device builds the modeled board pool for one batch run.
+func (o BatchOptions) device() *batch.Device { return batch.DevicePool(o.FPGAs) }
 
 // BatchResult is one job's outcome within a batch.
 type BatchResult struct {
@@ -210,6 +234,10 @@ type BatchResult struct {
 	Err error
 	// Wall is the job's own wall-clock time.
 	Wall time.Duration
+	// DeviceWait is the time the job queued for a modeled FPGA board;
+	// DeviceHold is the time it occupied one. Zero for CPU-only engines.
+	DeviceWait time.Duration
+	DeviceHold time.Duration
 }
 
 // BatchSummary is a finished batch: per-job results in submission order
@@ -231,55 +259,119 @@ type BatchSummary struct {
 	// ModeledSeconds sums the deterministic modeled runtime of every
 	// successful job — the batch's total simulated accelerator time.
 	ModeledSeconds float64
+	// FPGAs is the modeled board count the batch ran with (0 = unlimited).
+	// DeviceWait sums the time FPGA jobs queued for a board; DeviceHold
+	// sums board occupancy. DeviceWait > 0 alongside WorkWall > Wall is
+	// the shared-accelerator signature: FLEX device phases serialized
+	// while CPU work kept overlapping.
+	FPGAs      int
+	DeviceWait time.Duration
+	DeviceHold time.Duration
+}
+
+// job builds the worker-pool closure: a CPU generation phase that overlaps
+// freely, then — for engines that need the FPGA — a device phase holding
+// one modeled board while the engine streams the design through it.
+func (j BatchJob) job() batch.Job[*Outcome] {
+	return func(ctx context.Context) (*Outcome, error) {
+		l := j.Layout
+		if l == nil {
+			scale := j.Scale
+			if scale == 0 {
+				scale = 1.0
+			}
+			var err error
+			if l, err = Generate(j.Design, scale); err != nil {
+				return nil, err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if j.NeedsFPGA() {
+			release, err := batch.AcquireDevice(ctx)
+			if err != nil {
+				return nil, err
+			}
+			defer release()
+		}
+		return LegalizeWith(l, j.Engine, j.Options)
+	}
+}
+
+func (j BatchJob) toResult(r batch.Result[*Outcome]) BatchResult {
+	return BatchResult{
+		Index: r.Index, Tag: j.Tag,
+		Outcome: r.Value, Err: r.Err, Wall: r.Wall,
+		DeviceWait: r.DeviceWait, DeviceHold: r.DeviceHold,
+	}
+}
+
+func batchJobs(jobs []BatchJob) []batch.Job[*Outcome] {
+	bjobs := make([]batch.Job[*Outcome], len(jobs))
+	for i, j := range jobs {
+		bjobs[i] = j.job()
+	}
+	return bjobs
 }
 
 // LegalizeBatch fans independent legalization jobs across a bounded worker
 // pool and collects every outcome. Results keep submission order and each
 // job's error is captured in its own BatchResult (no fail-fast unless
-// requested), so a batch over N workers is byte-identical to a serial run —
-// engines are deterministic and legalize clones of their inputs. The
-// returned error is non-nil only when the batch as a whole stopped early:
-// ctx was canceled, or BatchOptions.FailFast tripped on the first job error.
+// requested), so a batch over N workers and M modeled FPGAs is
+// byte-identical to a serial run — engines are deterministic and legalize
+// clones of their inputs; workers and boards move only wall-clock and wait
+// statistics. The returned error is non-nil only when the batch as a whole
+// stopped early: ctx was canceled while jobs were pending or in flight, or
+// BatchOptions.FailFast tripped on the first job error.
 func LegalizeBatch(ctx context.Context, jobs []BatchJob, opt BatchOptions) (*BatchSummary, error) {
-	bjobs := make([]batch.Job[*Outcome], len(jobs))
-	for i, j := range jobs {
-		j := j
-		bjobs[i] = func(ctx context.Context) (*Outcome, error) {
-			l := j.Layout
-			if l == nil {
-				scale := j.Scale
-				if scale == 0 {
-					scale = 1.0
-				}
-				var err error
-				if l, err = Generate(j.Design, scale); err != nil {
-					return nil, err
-				}
-			}
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			return LegalizeWith(l, j.Engine, j.Options)
-		}
+	dev := opt.device()
+	var onResult func(batch.Result[*Outcome])
+	if opt.OnResult != nil {
+		onResult = func(r batch.Result[*Outcome]) { opt.OnResult(jobs[r.Index].toResult(r)) }
 	}
-	results, stats, err := batch.Run(ctx, bjobs, batch.Options{Workers: opt.Workers, FailFast: opt.FailFast})
+	results, stats, err := batch.RunWith(ctx, batchJobs(jobs),
+		batch.Options{Workers: opt.Workers, FailFast: opt.FailFast, Device: dev}, onResult)
 	sum := &BatchSummary{
 		Results: make([]BatchResult, len(results)),
 		Errors:  stats.Errors,
 		Skipped: stats.Skipped,
 		Workers: stats.Workers,
 		Wall:    stats.Wall, WorkWall: stats.WorkWall,
+		FPGAs:      stats.FPGAs,
+		DeviceWait: stats.DeviceWait, DeviceHold: stats.DeviceHold,
 	}
 	for i, r := range results {
-		sum.Results[i] = BatchResult{
-			Index: r.Index, Tag: jobs[i].Tag,
-			Outcome: r.Value, Err: r.Err, Wall: r.Wall,
-		}
+		sum.Results[i] = jobs[i].toResult(r)
 		if r.Err == nil && r.Value != nil {
 			sum.ModeledSeconds += r.Value.ModeledSeconds
 		}
 	}
 	return sum, err
+}
+
+// LegalizeBatchStream is the streaming form of LegalizeBatch: it returns
+// immediately with a channel that yields every job's BatchResult in
+// completion order (use BatchResult.Index to reorder) and is closed after
+// exactly len(jobs) sends — skipped jobs carry an error matched by
+// IsBatchSkipped. Callers must drain the channel; cancel ctx to stop
+// early. BatchOptions.OnResult, when also set, observes each result just
+// before it is sent.
+func LegalizeBatchStream(ctx context.Context, jobs []BatchJob, opt BatchOptions) <-chan BatchResult {
+	in := batch.Stream(ctx, batchJobs(jobs),
+		batch.Options{Workers: opt.Workers, FailFast: opt.FailFast, Device: opt.device()})
+	out := make(chan BatchResult)
+	go func() {
+		defer close(out)
+		for r := range in {
+			br := jobs[r.Index].toResult(r)
+			if opt.OnResult != nil {
+				opt.OnResult(br)
+			}
+			out <- br
+		}
+	}()
+	return out
 }
 
 // IsBatchSkipped reports whether a BatchResult's error means the job never

@@ -39,6 +39,15 @@ type Result[T any] struct {
 	Err   error
 	// Wall is the job's own wall-clock time (zero for skipped jobs).
 	Wall time.Duration
+	// DeviceWait is the time the job queued for the shared accelerator
+	// (Options.Device); DeviceHold is the time it occupied a board. Both
+	// are zero for CPU-only jobs and for batches without a device.
+	DeviceWait time.Duration
+	DeviceHold time.Duration
+	// aborted marks a cancellation-shaped error returned while the batch
+	// context was already canceled: the batch cut the job short, as
+	// opposed to a job-owned sub-context timing out on a healthy batch.
+	aborted bool
 }
 
 // Options tunes a batch run.
@@ -51,6 +60,12 @@ type Options struct {
 	// with ErrSkipped. The default runs every job and captures each
 	// error in its own Result.
 	FailFast bool
+	// Device is the shared accelerator pool jobs contend on: the pool
+	// attaches it to every job context, and jobs with an
+	// accelerator-resident phase claim a board via AcquireDevice while
+	// CPU-only jobs (and CPU phases) keep overlapping. nil models
+	// unlimited boards (every job CPU-only, the pre-device behaviour).
+	Device *Device
 }
 
 func (o Options) workers(jobs int) int {
@@ -78,6 +93,38 @@ type Stats struct {
 	// (per-job wall includes CPU contention when workers exceed cores).
 	Wall     time.Duration
 	WorkWall time.Duration
+	// Device aggregates across jobs when Options.Device was set: FPGAs is
+	// the modeled board count, DeviceWait/DeviceHold sum per-job queueing
+	// and occupancy, and DeviceAcquires/DeviceContended count token
+	// acquisitions (total, and those that had to wait). DeviceWait > 0
+	// with WorkWall > Wall is the shared-board signature: accelerator
+	// phases serialized while CPU work kept overlapping.
+	FPGAs           int
+	DeviceWait      time.Duration
+	DeviceHold      time.Duration
+	DeviceAcquires  int
+	DeviceContended int
+}
+
+// Add accumulates another run's stats, for callers that aggregate several
+// batches (e.g. one per experiment driver) into one report. Wall times sum
+// (the runs are assumed sequential); Workers and FPGAs keep the maximum.
+func (s *Stats) Add(o Stats) {
+	s.Jobs += o.Jobs
+	s.Errors += o.Errors
+	s.Skipped += o.Skipped
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+	s.Wall += o.Wall
+	s.WorkWall += o.WorkWall
+	if o.FPGAs > s.FPGAs {
+		s.FPGAs = o.FPGAs
+	}
+	s.DeviceWait += o.DeviceWait
+	s.DeviceHold += o.DeviceHold
+	s.DeviceAcquires += o.DeviceAcquires
+	s.DeviceContended += o.DeviceContended
 }
 
 // Stream executes jobs across a bounded worker pool and sends every job's
@@ -94,6 +141,10 @@ func Stream[T any](ctx context.Context, jobs []Job[T], opt Options) <-chan Resul
 		}
 		ctx, cancel := context.WithCancel(ctx)
 		defer cancel()
+		runCtx := ctx
+		if opt.Device != nil {
+			runCtx = WithDevice(ctx, opt.Device)
+		}
 
 		idx := make(chan int)
 		var skipped sync.Map // indexes the feeder abandoned
@@ -118,12 +169,26 @@ func Stream[T any](ctx context.Context, jobs []Job[T], opt Options) <-chan Resul
 						out <- Result[T]{Index: i, Err: ErrSkipped}
 						continue
 					}
+					jctx := runCtx
+					var usage *deviceUsage
+					if opt.Device != nil {
+						usage = &deviceUsage{}
+						jctx = context.WithValue(runCtx, usageKey{}, usage)
+					}
 					start := time.Now()
-					v, err := jobs[i](ctx)
+					v, err := jobs[i](jctx)
 					if err != nil && opt.FailFast {
 						cancel()
 					}
-					out <- Result[T]{Index: i, Value: v, Err: err, Wall: time.Since(start)}
+					r := Result[T]{Index: i, Value: v, Err: err, Wall: time.Since(start)}
+					if err != nil && ctx.Err() != nil &&
+						(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+						r.aborted = true
+					}
+					if usage != nil {
+						r.DeviceWait, r.DeviceHold = usage.wait, usage.hold
+					}
+					out <- r
 				}
 			}()
 		}
@@ -139,35 +204,68 @@ func Stream[T any](ctx context.Context, jobs []Job[T], opt Options) <-chan Resul
 // Run executes jobs across a bounded worker pool and returns one Result per
 // job in submission order, plus aggregate stats. Per-job errors are captured
 // in the results, not returned: the error is non-nil only when the batch as
-// a whole stopped early — the parent context was canceled before every job
-// ran, or FailFast tripped (then it is the first job error, and later jobs
-// carry ErrSkipped).
+// a whole stopped early — the parent context was canceled while jobs were
+// still unscheduled or in flight, or FailFast tripped (then it is the first
+// job error, and later jobs carry ErrSkipped).
 func Run[T any](ctx context.Context, jobs []Job[T], opt Options) ([]Result[T], Stats, error) {
+	return RunWith(ctx, jobs, opt, nil)
+}
+
+// RunWith is Run with a completion-order observer: onResult (when non-nil)
+// is invoked synchronously from the collecting goroutine for every job as
+// it finishes, before the full result set is assembled — the hook CLIs and
+// servers use to stream progress while the batch is still running. Keep it
+// fast; it is on the result path.
+func RunWith[T any](ctx context.Context, jobs []Job[T], opt Options, onResult func(Result[T])) ([]Result[T], Stats, error) {
 	start := time.Now()
 	results := make([]Result[T], len(jobs))
 	for r := range Stream(ctx, jobs, opt) {
 		results[r.Index] = r
+		if onResult != nil {
+			onResult(r)
+		}
 	}
 	st := Stats{Jobs: len(jobs), Workers: opt.workers(len(jobs)), Wall: time.Since(start)}
-	var firstErr error
+	var firstErr, firstCancel error
 	for i := range results {
 		r := &results[i]
 		st.WorkWall += r.Wall
+		st.DeviceWait += r.DeviceWait
+		st.DeviceHold += r.DeviceHold
 		switch {
 		case errors.Is(r.Err, ErrSkipped):
 			st.Skipped++
 		case r.Err != nil:
 			st.Errors++
-			if firstErr == nil {
+			if r.aborted {
+				if firstCancel == nil {
+					firstCancel = r.Err
+				}
+			} else if firstErr == nil {
+				// Prefer the first root-cause error over a cancellation
+				// echoed by an in-flight victim job.
 				firstErr = r.Err
 			}
 		}
 	}
-	// A context error only fails the batch if it actually cut jobs short;
-	// a deadline firing after the last job completed leaves a full,
-	// perfectly good result set.
-	if err := ctx.Err(); err != nil && st.Skipped > 0 {
+	if opt.Device != nil {
+		ds := opt.Device.Stats()
+		st.FPGAs = ds.Capacity
+		st.DeviceAcquires = ds.Acquires
+		st.DeviceContended = ds.Contended
+	}
+	// A context error fails the batch whenever it actually cut the run
+	// short: jobs were skipped, or in-flight jobs aborted with the
+	// cancellation as their own error. A deadline firing after the last
+	// job completed — even one where some job failed with its own
+	// sub-context's timeout — leaves a full, perfectly good result set.
+	if err := ctx.Err(); err != nil && (st.Skipped > 0 || firstCancel != nil) {
 		return results, st, err
+	}
+	if firstErr == nil {
+		// Only batch-abort cancellation errors remain: under FailFast
+		// the batch still tripped and must not report success.
+		firstErr = firstCancel
 	}
 	if opt.FailFast && firstErr != nil {
 		return results, st, firstErr

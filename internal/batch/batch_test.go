@@ -180,6 +180,113 @@ func TestRunContextCancellationMidBatch(t *testing.T) {
 	}
 }
 
+// TestRunMidFlightCancelContract pins the documented contract for the case
+// the old code got wrong: every job is already in flight when the context
+// is canceled, so nothing is skipped and each job reports ctx.Err() as its
+// own error — Run must still fail the batch with the context error instead
+// of returning nil.
+func TestRunMidFlightCancelContract(t *testing.T) {
+	const n = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started sync.WaitGroup
+	started.Add(n)
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		jobs[i] = func(ctx context.Context) (int, error) {
+			started.Done()
+			<-ctx.Done() // abort only once the batch is canceled
+			return 0, ctx.Err()
+		}
+	}
+	go func() {
+		started.Wait() // all n jobs in flight: nothing left to skip
+		cancel()
+	}()
+	results, st, err := Run(ctx, jobs, Options{Workers: n})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled despite zero skipped jobs", err)
+	}
+	if st.Skipped != 0 {
+		t.Fatalf("skipped = %d, want 0 (every job was in flight)", st.Skipped)
+	}
+	if st.Errors != n {
+		t.Fatalf("errors = %d, want %d", st.Errors, n)
+	}
+	for _, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("job %d: err = %v, want context.Canceled", r.Index, r.Err)
+		}
+	}
+}
+
+// TestRunDeadlineMidFlight is the DeadlineExceeded twin of the contract.
+func TestRunDeadlineMidFlight(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	jobs := []Job[int]{func(ctx context.Context) (int, error) {
+		<-ctx.Done()
+		return 0, ctx.Err()
+	}}
+	_, st, err := Run(ctx, jobs, Options{Workers: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if st.Skipped != 0 || st.Errors != 1 {
+		t.Fatalf("stats %+v, want 0 skipped / 1 error", st)
+	}
+}
+
+// TestRunJobOwnedTimeoutIsIsolated guards the flip side of the contract
+// fix: a job failing with its own sub-context's deadline while the batch
+// context is healthy stays an isolated per-job error.
+func TestRunJobOwnedTimeoutIsIsolated(t *testing.T) {
+	jobs := []Job[int]{
+		func(context.Context) (int, error) { return 0, context.DeadlineExceeded },
+		func(context.Context) (int, error) { return 7, nil },
+	}
+	results, st, err := Run(context.Background(), jobs, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("healthy batch surfaced error: %v", err)
+	}
+	if st.Errors != 1 || st.Skipped != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if results[1].Err != nil || results[1].Value != 7 {
+		t.Fatalf("sibling poisoned: %+v", results[1])
+	}
+}
+
+// TestRunLateCancelKeepsCompletedResults guards the other side of the
+// contract: the parent context dying only after every job already finished
+// must not fail the batch — even when one job failed with its own
+// sub-context's timeout while the batch was healthy.
+func TestRunLateCancelKeepsCompletedResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := []Job[int]{
+		// A job-owned timeout on a healthy batch: isolated, not batch-fatal.
+		func(context.Context) (int, error) { return 0, context.DeadlineExceeded },
+		func(context.Context) (int, error) { return 7, nil },
+	}
+	done := 0
+	results, st, err := RunWith(ctx, jobs, Options{Workers: 1}, func(Result[int]) {
+		done++
+		if done == len(jobs) {
+			cancel() // parent dies only after the last job completed
+		}
+	})
+	if err != nil {
+		t.Fatalf("fully completed batch failed with %v after late cancel", err)
+	}
+	if st.Skipped != 0 || st.Errors != 1 {
+		t.Fatalf("stats %+v, want 0 skipped / 1 error", st)
+	}
+	if results[1].Err != nil || results[1].Value != 7 {
+		t.Fatalf("completed result lost: %+v", results[1])
+	}
+}
+
 func TestRunCanceledBeforeStart(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

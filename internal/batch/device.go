@@ -1,0 +1,183 @@
+package batch
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Device models a pool of physical accelerator boards shared by every job
+// of a batch — the paper's single Alveo card multiplexed across a host's
+// concurrent legalization jobs. It is a counting semaphore with capacity =
+// the number of boards: a job's accelerator-resident phase holds one token
+// while its CPU phases (and every CPU-only sibling job) keep overlapping.
+//
+// Holding a token never changes what a job computes — engines are pure
+// functions of their inputs — so results stay byte-identical for any
+// capacity; only wall-clock and wait statistics move.
+type Device struct {
+	sem chan struct{}
+
+	mu    sync.Mutex
+	stats DeviceStats
+}
+
+// DeviceStats aggregates a device's acquisition history.
+type DeviceStats struct {
+	// Capacity is the number of modeled boards.
+	Capacity int
+	// Acquires counts successful token acquisitions; Contended counts
+	// acquisition attempts that had to wait because every board was busy,
+	// including waits aborted by cancellation — so in a canceled batch
+	// Contended can exceed Acquires.
+	Acquires  int
+	Contended int
+	// Wait is the total time jobs spent queued for a token (including
+	// queue time of canceled attempts); Hold is the total time tokens
+	// were held (the boards' modeled busy time).
+	Wait time.Duration
+	Hold time.Duration
+}
+
+// NewDevice builds a device pool with the given capacity (<= 0 means 1,
+// the paper's single-board host).
+func NewDevice(capacity int) *Device {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Device{
+		sem:   make(chan struct{}, capacity),
+		stats: DeviceStats{Capacity: capacity},
+	}
+}
+
+// DevicePool maps a board-count knob (a -fpgas flag, say) to a device:
+// negative means unlimited boards (nil, no contention modeling), zero means
+// the paper's single card, positive is the pool size. Callers share this
+// policy so every CLI and driver reads the knob identically.
+func DevicePool(fpgas int) *Device {
+	if fpgas < 0 {
+		return nil
+	}
+	return NewDevice(fpgas)
+}
+
+// Capacity returns the number of modeled boards.
+func (d *Device) Capacity() int { return cap(d.sem) }
+
+// Stats snapshots the cumulative acquisition statistics.
+func (d *Device) Stats() DeviceStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// acquire takes one token, blocking until a board frees up or ctx is
+// canceled. It reports whether the acquisition had to wait.
+func (d *Device) acquire(ctx context.Context) (contended bool, err error) {
+	select {
+	case d.sem <- struct{}{}:
+		return false, nil
+	default:
+	}
+	select {
+	case d.sem <- struct{}{}:
+		return true, nil
+	case <-ctx.Done():
+		return true, ctx.Err()
+	}
+}
+
+func (d *Device) release() { <-d.sem }
+
+func (d *Device) note(contended bool, wait, hold time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Wait += wait
+	d.stats.Hold += hold
+	d.stats.Acquires++
+	if contended {
+		d.stats.Contended++
+	}
+}
+
+// noteCanceled records a blocked acquisition the batch canceled before a
+// board freed up: the queue time is real contention and must not vanish
+// from the report just because the wait was aborted.
+func (d *Device) noteCanceled(wait time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Wait += wait
+	d.stats.Contended++
+}
+
+// deviceKey/usageKey carry the batch's device and the running job's usage
+// recorder through the job context.
+type (
+	deviceKey struct{}
+	usageKey  struct{}
+)
+
+// deviceUsage accumulates one job's device time. It is written by
+// AcquireDevice and read by the worker after the job returns, all on the
+// job's goroutine.
+type deviceUsage struct {
+	wait time.Duration
+	hold time.Duration
+}
+
+// WithDevice returns a context carrying the device pool; jobs claim their
+// accelerator phase from it via AcquireDevice. Stream attaches
+// Options.Device automatically.
+func WithDevice(ctx context.Context, d *Device) context.Context {
+	return context.WithValue(ctx, deviceKey{}, d)
+}
+
+// DeviceFrom returns the context's device pool, or nil when the batch has
+// no accelerator model attached.
+func DeviceFrom(ctx context.Context) *Device {
+	d, _ := ctx.Value(deviceKey{}).(*Device)
+	return d
+}
+
+// AcquireDevice claims one modeled board for the calling job's
+// accelerator-resident phase and returns the release function; the caller
+// must invoke release (it is idempotent) when the phase ends. Without a
+// device on the context this is a free no-op, so engine code may declare
+// its accelerator phase unconditionally and still run outside any batch.
+// The blocking wait honors ctx: a canceled batch returns ctx.Err() and no
+// token. A job must release before re-acquiring — recursive holds
+// self-deadlock at capacity 1.
+func AcquireDevice(ctx context.Context) (release func(), err error) {
+	d := DeviceFrom(ctx)
+	if d == nil {
+		return func() {}, nil
+	}
+	start := time.Now()
+	usage, _ := ctx.Value(usageKey{}).(*deviceUsage)
+	contended, err := d.acquire(ctx)
+	wait := time.Since(start)
+	if err != nil {
+		// The aborted wait was still time spent queued for the board.
+		if usage != nil {
+			usage.wait += wait
+		}
+		d.noteCanceled(wait)
+		return nil, err
+	}
+	if usage != nil {
+		usage.wait += wait
+	}
+	heldAt := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			hold := time.Since(heldAt)
+			if usage != nil {
+				usage.hold += hold
+			}
+			d.note(contended, wait, hold)
+			d.release()
+		})
+	}, nil
+}

@@ -40,6 +40,17 @@ type Options struct {
 	// deterministic, so every worker count yields identical tables; only
 	// wall-clock changes.
 	Workers int
+	// FPGAs is the number of physical accelerator boards the drivers model
+	// (0 = 1, the paper's single-card host; negative = unlimited). FLEX
+	// jobs hold one board for their device phase and serialize when
+	// concurrent FLEX jobs outnumber boards; CPU-only jobs keep
+	// overlapping. Like Workers, it never changes a rendered table.
+	FPGAs int
+	// Stats, when non-nil, accumulates every driver batch's pool
+	// statistics — wall vs summed job wall (CPU overlap) and device
+	// wait/hold/contention — so callers can report scheduling behaviour
+	// without perturbing the deterministic tables.
+	Stats *batch.Stats
 }
 
 func (o Options) withDefaults() Options {
@@ -106,7 +117,7 @@ func Table1(opt Options) ([]Table1Row, error) {
 	for _, layout := range layouts {
 		for e := 0; e < table1Engines; e++ {
 			layout, e := layout, e
-			jobs = append(jobs, func(context.Context) (EngineCell, error) {
+			jobs = append(jobs, func(ctx context.Context) (EngineCell, error) {
 				l, err := layout()
 				if err != nil {
 					return EngineCell{}, fmt.Errorf("table1 %w", err)
@@ -124,8 +135,13 @@ func Table1(opt Options) ([]Table1Row, error) {
 					res := analytical.Legalize(l, analytical.Config{})
 					return EngineCell{AveDis: res.Metrics.AveDis, Seconds: res.TotalSeconds, Legal: res.Legal}, nil
 				default:
-					res := core.Legalize(l, core.Config{MeasureOriginalShift: opt.MeasureOriginal})
-					return EngineCell{AveDis: res.Metrics.AveDis, Seconds: res.TotalSeconds, Legal: res.Legal}, nil
+					// FLEX streams the design through the shared board:
+					// hold a device token for the engine run while the
+					// CPU-side siblings above keep overlapping.
+					return runOnDevice(ctx, func() (EngineCell, error) {
+						res := core.Legalize(l, core.Config{MeasureOriginalShift: opt.MeasureOriginal})
+						return EngineCell{AveDis: res.Metrics.AveDis, Seconds: res.TotalSeconds, Legal: res.Legal}, nil
+					})
 				}
 			})
 		}

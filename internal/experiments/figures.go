@@ -306,12 +306,15 @@ func Fig10(opt Options) ([]AssignPoint, error) {
 	for _, layout := range layouts {
 		for _, a := range assignments {
 			layout, a := layout, a
-			jobs = append(jobs, func(context.Context) (float64, error) {
+			jobs = append(jobs, func(ctx context.Context) (float64, error) {
 				l, err := layout()
 				if err != nil {
 					return 0, err
 				}
-				return core.Legalize(l, core.Config{Assignment: a}).TotalSeconds, nil
+				// Both assignments run the FLEX engine and occupy the board.
+				return runOnDevice(ctx, func() (float64, error) {
+					return core.Legalize(l, core.Config{Assignment: a}).TotalSeconds, nil
+				})
 			})
 		}
 	}

@@ -18,13 +18,36 @@ import (
 // produces identical tables. Drivers want all-or-nothing results, so the
 // batch fails fast: one job error stops scheduling instead of burning the
 // rest of the suite.
+//
+// Each batch gets a fresh modeled FPGA pool; jobs that run the FLEX engine
+// declare their device phase with batch.AcquireDevice and contend on it,
+// while CPU-only jobs overlap freely. Pool statistics (device wait vs CPU
+// overlap) accumulate into Options.Stats when set — never into the
+// returned values, which stay byte-identical across workers × FPGAs.
 func run[T any](opt Options, jobs []batch.Job[T]) ([]T, error) {
-	results, _, err := batch.Run(context.Background(), jobs,
-		batch.Options{Workers: opt.Workers, FailFast: true})
+	results, st, err := batch.Run(context.Background(), jobs,
+		batch.Options{Workers: opt.Workers, FailFast: true, Device: batch.DevicePool(opt.FPGAs)})
+	if opt.Stats != nil {
+		opt.Stats.Add(st)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return batch.Values(results)
+}
+
+// runOnDevice runs f while holding one modeled accelerator board — the
+// declaration every FLEX-engine (core.Legalize) call site inside a driver
+// job makes, so new drivers opt in with one wrapper instead of hand-rolled
+// acquire/release boilerplate. CPU-only measurement code must not use it.
+func runOnDevice[T any](ctx context.Context, f func() (T, error)) (T, error) {
+	release, err := batch.AcquireDevice(ctx)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	defer release()
+	return f()
 }
 
 // lazyLayouts returns one memoized generator per spec for drivers whose

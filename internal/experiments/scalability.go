@@ -130,12 +130,15 @@ func OrderingAblation(opt Options) ([]OrderingPoint, error) {
 	for _, layout := range layouts {
 		for _, w := range orderingWindows {
 			layout, w := layout, w
-			jobs = append(jobs, func(context.Context) (float64, error) {
+			jobs = append(jobs, func(ctx context.Context) (float64, error) {
 				l, err := layout()
 				if err != nil {
 					return 0, err
 				}
-				return legalizeFlexOrdering(l, w), nil
+				// Every ordering variant runs the FLEX engine on the board.
+				return runOnDevice(ctx, func() (float64, error) {
+					return legalizeFlexOrdering(l, w), nil
+				})
 			})
 		}
 	}

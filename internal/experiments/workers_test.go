@@ -1,6 +1,10 @@
 package experiments
 
-import "testing"
+import (
+	"testing"
+
+	"github.com/flex-eda/flex/internal/batch"
+)
 
 // withWorkers returns tiny with an explicit pool size.
 func withWorkers(o Options, n int) Options {
@@ -8,9 +12,19 @@ func withWorkers(o Options, n int) Options {
 	return o
 }
 
+// withSchedule returns tiny with an explicit pool size and modeled FPGA
+// board count.
+func withSchedule(o Options, workers, fpgas int) Options {
+	o.Workers = workers
+	o.FPGAs = fpgas
+	return o
+}
+
 // TestWorkersByteIdenticalTables is the acceptance gate of the concurrent
 // runner: every driver must render byte-identical output at 1 worker and at
-// N workers — the pool may only change wall-clock, never results.
+// N workers, and — since the device scheduler landed — at any modeled FPGA
+// board count. Workers and boards may only change wall-clock and wait
+// statistics, never results.
 func TestWorkersByteIdenticalTables(t *testing.T) {
 	type render struct {
 		name string
@@ -67,6 +81,14 @@ func TestWorkersByteIdenticalTables(t *testing.T) {
 			return RenderScalability(pts).String(), nil
 		}},
 	}
+	grid := []struct {
+		workers, fpgas int
+	}{
+		{4, 1},  // paper's host: many workers, one board
+		{4, 2},  // two boards
+		{4, -1}, // unlimited boards (no device modeling)
+		{1, 1},  // serial with a board still attached
+	}
 	for _, d := range drivers {
 		d := d
 		t.Run(d.name, func(t *testing.T) {
@@ -75,14 +97,45 @@ func TestWorkersByteIdenticalTables(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			parallel, err := d.run(withWorkers(tiny, 4))
-			if err != nil {
-				t.Fatal(err)
-			}
-			if serial != parallel {
-				t.Fatalf("%s output differs between 1 and 4 workers:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
-					d.name, serial, parallel)
+			for _, g := range grid {
+				parallel, err := d.run(withSchedule(tiny, g.workers, g.fpgas))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if serial != parallel {
+					t.Fatalf("%s output differs between workers=1 and workers=%d/fpgas=%d:\n--- workers=1 ---\n%s\n--- variant ---\n%s",
+						d.name, g.workers, g.fpgas, serial, parallel)
+				}
 			}
 		})
+	}
+}
+
+// TestStatsSinkObservesDeviceScheduling checks the Options.Stats plumbing:
+// a Table1 run over the shared board records pool size, board occupancy by
+// the FLEX jobs, and — the overlap argument — summed job wall at least at
+// batch wall.
+func TestStatsSinkObservesDeviceScheduling(t *testing.T) {
+	var st batch.Stats
+	o := withSchedule(tiny, 4, 1)
+	o.Stats = &st
+	if _, err := Table1(o); err != nil {
+		t.Fatal(err)
+	}
+	if st.Jobs == 0 || st.Workers != 4 {
+		t.Fatalf("stats sink missed the batch: %+v", st)
+	}
+	if st.FPGAs != 1 {
+		t.Fatalf("FPGAs = %d, want 1", st.FPGAs)
+	}
+	// tiny has 2 designs × 1 FLEX job each: both must have held the board.
+	if st.DeviceAcquires != 2 {
+		t.Fatalf("device acquires = %d, want 2 (one per FLEX job)", st.DeviceAcquires)
+	}
+	if st.DeviceHold <= 0 {
+		t.Fatal("no board occupancy recorded")
+	}
+	if st.WorkWall < st.Wall {
+		t.Fatalf("summed job wall %v below batch wall %v", st.WorkWall, st.Wall)
 	}
 }
