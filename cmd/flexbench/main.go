@@ -5,7 +5,7 @@
 //
 //	flexbench [-exp all|table1|table2|fig2a|fig2b|fig2c|fig2g|fig6g|fig8|fig9|fig10]
 //	          [-scale 0.02] [-designs name1,name2] [-threads 8] [-measure-original]
-//	          [-workers N] [-fpgas N]
+//	          [-workers N] [-fpgas N] [-cache-mb M] [-repeat N]
 //
 // -workers bounds how many (design × engine) jobs run concurrently (0 =
 // GOMAXPROCS); -fpgas sets how many physical accelerator boards the host
@@ -13,8 +13,19 @@
 // serialize their device phase on the boards while CPU-only jobs overlap.
 // Engines are deterministic, so every workers × fpgas combination prints
 // byte-identical tables; -workers 1 forces the old serial behaviour.
-// Scheduling behaviour (device wait vs CPU overlap) is reported per driver
-// on stderr, leaving stdout comparable across configurations.
+//
+// One invocation runs every selected driver on one shared service: a
+// long-lived worker pool plus — with -cache-mb — a byte-bounded layout
+// cache memoizing generated benchmarks by (design, scale, seed), so
+// drivers that share designs skip regeneration. -repeat N re-runs the
+// selected experiments N times on the same warm service, the measurement
+// mode for cache effectiveness (stdout repeats the identical tables; wall
+// time and cache hit/miss deltas land on stderr). Caching never changes a
+// table — only where the layouts come from.
+//
+// Scheduling behaviour (device wait vs CPU overlap, cache hits vs misses)
+// is reported per driver and per repetition on stderr, leaving stdout
+// comparable across configurations.
 //
 // Absolute numbers depend on the scale factor and the platform models; the
 // shapes (who wins, by what factor, where the crossovers are) are the
@@ -26,8 +37,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/flex-eda/flex/internal/batch"
+	"github.com/flex-eda/flex/internal/cache"
 	"github.com/flex-eda/flex/internal/experiments"
 )
 
@@ -62,7 +75,20 @@ func main() {
 	measure := flag.Bool("measure-original", false, "instrument the original multi-pass shifting (slower, more faithful)")
 	workers := flag.Int("workers", 0, "concurrent (design × engine) jobs per driver (0 = GOMAXPROCS, 1 = serial)")
 	fpgas := flag.Int("fpgas", 1, "modeled FPGA boards shared by concurrent FLEX jobs (negative = unlimited)")
+	cacheMB := flag.Int("cache-mb", 0, "layout cache budget in MiB, shared by every driver and repetition (0 = off)")
+	repeat := flag.Int("repeat", 1, "run the selected experiments N times on the same warm service")
 	flag.Parse()
+
+	// One shared service per invocation: every driver batch runs on this
+	// pool, and (with -cache-mb) resolves generated layouts through this
+	// cache — so repeated designs, within a repetition and across -repeat
+	// runs, are built once.
+	pool := batch.NewPool(batch.PoolConfig{Workers: *workers, FPGAs: *fpgas})
+	defer pool.Close()
+	var layouts *cache.LRU
+	if *cacheMB > 0 {
+		layouts = cache.New(int64(*cacheMB) << 20)
+	}
 
 	opt := experiments.Options{
 		Scale:           *scale,
@@ -70,6 +96,8 @@ func main() {
 		MeasureOriginal: *measure,
 		Workers:         *workers,
 		FPGAs:           *fpgas,
+		Pool:            pool,
+		Layouts:         layouts,
 	}
 	if *designs != "" {
 		opt.Designs = strings.Split(*designs, ",")
@@ -100,106 +128,128 @@ func main() {
 		fmt.Println()
 	}
 
-	run("table1", func(o experiments.Options) error {
-		rows, err := experiments.Table1(o)
-		if err != nil {
-			return err
-		}
-		experiments.RenderTable1(rows).Render(os.Stdout)
-		return nil
-	})
-	run("table2", func(o experiments.Options) error {
-		experiments.Table2().Render(os.Stdout)
-		return nil
-	})
-	run("fig2a", func(o experiments.Options) error {
-		pts, err := experiments.Fig2a(o)
-		if err != nil {
-			return err
-		}
-		experiments.RenderFig2a(pts).Render(os.Stdout, 40)
-		return nil
-	})
-	run("fig2b", func(o experiments.Options) error {
-		pts, err := experiments.Fig2b(o)
-		if err != nil {
-			return err
-		}
-		experiments.RenderFig2b(pts).Render(os.Stdout, 40)
-		return nil
-	})
-	run("fig2c", func(o experiments.Options) error {
-		pts, err := experiments.Fig2c(o)
-		if err != nil {
-			return err
-		}
-		experiments.RenderFig2c(pts).Render(os.Stdout)
-		return nil
-	})
-	run("fig2g", func(o experiments.Options) error {
-		pts, err := experiments.Fig2g(o)
-		if err != nil {
-			return err
-		}
-		experiments.RenderFig2g(pts).Render(os.Stdout, 40)
-		return nil
-	})
-	run("fig6g", func(o experiments.Options) error {
-		pts, err := experiments.Fig6g(o)
-		if err != nil {
-			return err
-		}
-		experiments.RenderFig6g(pts).Render(os.Stdout)
-		return nil
-	})
-	run("fig8", func(o experiments.Options) error {
-		pts, err := experiments.Fig8(o)
-		if err != nil {
-			return err
-		}
-		experiments.RenderFig8(pts).Render(os.Stdout)
-		return nil
-	})
-	run("fig9", func(o experiments.Options) error {
-		pts, err := experiments.Fig9(o)
-		if err != nil {
-			return err
-		}
-		experiments.RenderFig9(pts).Render(os.Stdout)
-		return nil
-	})
-	run("fig10", func(o experiments.Options) error {
-		pts, err := experiments.Fig10(o)
-		if err != nil {
-			return err
-		}
-		experiments.RenderFig10(pts).Render(os.Stdout, 40)
-		return nil
-	})
-	// Extension experiments (not paper figures; see EXPERIMENTS.md).
-	if *exp == "scalability" {
-		ran = true
-		fmt.Println("==> scalability")
-		runWithStats("scalability", func(o experiments.Options) error {
-			pts, err := experiments.Scalability(o, 5)
+	runSelected := func() {
+		run("table1", func(o experiments.Options) error {
+			rows, err := experiments.Table1(o)
 			if err != nil {
 				return err
 			}
-			experiments.RenderScalability(pts).Render(os.Stdout)
+			experiments.RenderTable1(rows).Render(os.Stdout)
 			return nil
 		})
+		run("table2", func(o experiments.Options) error {
+			experiments.Table2().Render(os.Stdout)
+			return nil
+		})
+		run("fig2a", func(o experiments.Options) error {
+			pts, err := experiments.Fig2a(o)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig2a(pts).Render(os.Stdout, 40)
+			return nil
+		})
+		run("fig2b", func(o experiments.Options) error {
+			pts, err := experiments.Fig2b(o)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig2b(pts).Render(os.Stdout, 40)
+			return nil
+		})
+		run("fig2c", func(o experiments.Options) error {
+			pts, err := experiments.Fig2c(o)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig2c(pts).Render(os.Stdout)
+			return nil
+		})
+		run("fig2g", func(o experiments.Options) error {
+			pts, err := experiments.Fig2g(o)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig2g(pts).Render(os.Stdout, 40)
+			return nil
+		})
+		run("fig6g", func(o experiments.Options) error {
+			pts, err := experiments.Fig6g(o)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig6g(pts).Render(os.Stdout)
+			return nil
+		})
+		run("fig8", func(o experiments.Options) error {
+			pts, err := experiments.Fig8(o)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig8(pts).Render(os.Stdout)
+			return nil
+		})
+		run("fig9", func(o experiments.Options) error {
+			pts, err := experiments.Fig9(o)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig9(pts).Render(os.Stdout)
+			return nil
+		})
+		run("fig10", func(o experiments.Options) error {
+			pts, err := experiments.Fig10(o)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig10(pts).Render(os.Stdout, 40)
+			return nil
+		})
+		// Extension experiments (not paper figures; see EXPERIMENTS.md).
+		if *exp == "scalability" {
+			ran = true
+			fmt.Println("==> scalability")
+			runWithStats("scalability", func(o experiments.Options) error {
+				pts, err := experiments.Scalability(o, 5)
+				if err != nil {
+					return err
+				}
+				experiments.RenderScalability(pts).Render(os.Stdout)
+				return nil
+			})
+		}
+		if *exp == "ordering" {
+			ran = true
+			fmt.Println("==> ordering")
+			runWithStats("ordering", func(o experiments.Options) error {
+				pts, err := experiments.OrderingAblation(o)
+				if err != nil {
+					return err
+				}
+				experiments.RenderOrdering(pts).Render(os.Stdout)
+				return nil
+			})
+		}
+	} // end runSelected
+
+	if *repeat < 1 {
+		*repeat = 1
 	}
-	if *exp == "ordering" {
-		ran = true
-		fmt.Println("==> ordering")
-		runWithStats("ordering", func(o experiments.Options) error {
-			pts, err := experiments.OrderingAblation(o)
-			if err != nil {
-				return err
+	var prev cache.Stats
+	for rep := 1; rep <= *repeat; rep++ {
+		start := time.Now()
+		runSelected()
+		if layouts != nil || *repeat > 1 {
+			line := fmt.Sprintf("run %d/%d: wall %v", rep, *repeat, time.Since(start).Round(time.Millisecond))
+			if layouts != nil {
+				st := layouts.Stats()
+				line += fmt.Sprintf("; cache: +%d hits, +%d misses (total %d/%d, %d entries, %.1f MiB resident)",
+					st.Hits-prev.Hits, st.Misses-prev.Misses, st.Hits, st.Misses,
+					st.Entries, float64(st.Bytes)/(1<<20))
+				prev = st
 			}
-			experiments.RenderOrdering(pts).Render(os.Stdout)
-			return nil
-		})
+			fmt.Fprintln(os.Stderr, line)
+		}
 	}
 	if !ran {
 		// A typoed -exp must not succeed vacuously — it would turn the

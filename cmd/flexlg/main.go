@@ -4,20 +4,29 @@
 // Usage:
 //
 //	flexlg -engine flex|mgl|mgl-mt|gpu|analytical|all [-threads 8]
-//	       [-workers N] [-fpgas N] [-in design.flexpl] [-out legal.flexpl]
+//	       [-workers N] [-fpgas N] [-cache-mb M]
+//	       [-in design.flexpl | -design name [-scale 0.02]]
+//	       [-out legal.flexpl]
 //
 // -engine accepts a comma-separated list (or "all"); multiple engines run
-// concurrently through flex.LegalizeBatch with -workers goroutines, print a
-// live progress line per job on stderr as results stream in, and are
-// reported side by side on stdout in submission order. -fpgas bounds the
-// modeled accelerator boards FLEX jobs contend on (default 1). With no
-// -in, a small built-in demo design is generated.
+// concurrently on one flex.Service with -workers goroutines, print a live
+// progress line per job on stderr as results stream in, and are reported
+// side by side on stdout in submission order. -fpgas bounds the modeled
+// accelerator boards FLEX jobs contend on (default 1).
+//
+// The input is -in (a flexpl file), or -design (a built-in benchmark name,
+// see flex.Designs, generated at -scale on the service's workers), or —
+// with neither — a small generated demo design. With -design, -cache-mb
+// sizes the service's layout cache: the first engine job generates the
+// benchmark, its siblings hit the cache, and the hit/miss counts land on
+// stderr next to the device-wait stats.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"time"
@@ -25,26 +34,16 @@ import (
 	flex "github.com/flex-eda/flex"
 )
 
-var engineNames = map[string]flex.Engine{
-	"flex":       flex.EngineFLEX,
-	"mgl":        flex.EngineMGL,
-	"mgl-mt":     flex.EngineMGLMT,
-	"gpu":        flex.EngineGPU,
-	"analytical": flex.EngineAnalytical,
-}
-
-// allEngines is the -engine all expansion. FLEX leads so that -out (which
-// writes the first selected engine's layout) captures the headline engine's
-// result, not a baseline's.
-var allEngines = []string{"flex", "mgl", "mgl-mt", "gpu", "analytical"}
-
-// parseEngines expands a comma-separated engine list (or "all"). Empty
+// parseEngines expands a comma-separated engine list (or "all", which
+// keeps FLEX first so -out captures the headline engine's layout). The
+// name registry is flex.EngineNames/flex.ParseEngine — the same table
+// flexserve serves — so the CLIs cannot drift from the library. Empty
 // entries — a trailing comma, say — are skipped, duplicates run once, and
 // an unknown name is reported with its position in the list.
 func parseEngines(s string) ([]flex.Engine, []string, error) {
 	names := strings.Split(s, ",")
 	if strings.TrimSpace(s) == "all" {
-		names = allEngines
+		names = flex.EngineNames()
 	}
 	engines := make([]flex.Engine, 0, len(names))
 	clean := make([]string, 0, len(names))
@@ -54,9 +53,10 @@ func parseEngines(s string) ([]flex.Engine, []string, error) {
 		if n == "" {
 			continue
 		}
-		e, ok := engineNames[n]
-		if !ok {
-			return nil, nil, fmt.Errorf("unknown engine %q at position %d (want flex, mgl, mgl-mt, gpu, analytical or all)", n, pos+1)
+		e, err := flex.ParseEngine(n)
+		if err != nil {
+			return nil, nil, fmt.Errorf("unknown engine %q at position %d (want %s or all)",
+				n, pos+1, strings.Join(flex.EngineNames(), ", "))
 		}
 		if seen[n] {
 			continue
@@ -76,7 +76,10 @@ func main() {
 	threads := flag.Int("threads", 8, "threads for mgl-mt")
 	workers := flag.Int("workers", 0, "concurrent engine runs when several engines are selected (0 = GOMAXPROCS)")
 	fpgas := flag.Int("fpgas", 1, "modeled FPGA boards shared by concurrent FLEX jobs (negative = unlimited)")
+	cacheMB := flag.Int("cache-mb", 0, "service layout-cache budget in MiB for -design jobs (0 = off)")
 	in := flag.String("in", "", "input flexpl file (default: generated demo)")
+	design := flag.String("design", "", "built-in benchmark name to generate instead of -in (see flexbench -designs)")
+	scale := flag.Float64("scale", 0.02, "generation scale for -design (1.0 = paper size)")
 	out := flag.String("out", "", "output flexpl file, written from the first selected engine (default: stdout suppressed)")
 	demoCells := flag.Int("demo-cells", 2000, "demo design cell count when no -in")
 	demoDensity := flag.Float64("demo-density", 0.6, "demo design density when no -in")
@@ -87,9 +90,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *in != "" && *design != "" {
+		fmt.Fprintln(os.Stderr, "flexlg: -in and -design are mutually exclusive")
+		os.Exit(2)
+	}
+	// Validate -scale up front for design refs on every path: the library's
+	// BatchJob convention treats scale 0 as paper-size 1.0, which a CLI
+	// typo must never silently trigger.
+	if *design != "" && (math.IsNaN(*scale) || math.IsInf(*scale, 0) || *scale <= 0) {
+		fmt.Fprintf(os.Stderr, "flexlg: -scale must be a positive finite factor, got %v\n", *scale)
+		os.Exit(2)
+	}
 
+	// The input: an explicit layout (-in or the generated demo), or a
+	// (design, scale) reference resolved per job on the service's workers,
+	// where the layout cache collapses the duplicate generations. Without
+	// a cache, design refs would regenerate once per engine — so they are
+	// only passed through when -cache-mb is set; otherwise the design is
+	// generated once here and shared like any other explicit layout.
 	var layout *flex.Layout
-	if *in != "" {
+	designRef := *design
+	switch {
+	case *in != "":
 		f, err2 := os.Open(*in)
 		if err2 != nil {
 			fmt.Fprintln(os.Stderr, err2)
@@ -97,7 +119,10 @@ func main() {
 		}
 		layout, err = flex.ReadLayout(f)
 		f.Close()
-	} else {
+	case *design != "" && *cacheMB <= 0:
+		layout, err = flex.Generate(*design, *scale)
+		designRef = ""
+	case *design == "":
 		layout, err = flex.GenerateCustom(*demoCells, *demoDensity, 1)
 	}
 	if err != nil {
@@ -105,12 +130,14 @@ func main() {
 		os.Exit(1)
 	}
 
-	// One job per engine over the shared input layout (engines legalize
-	// clones); a single engine degenerates to one worker.
+	// One job per engine over the shared input (engines legalize clones);
+	// a single engine degenerates to one worker.
 	jobs := make([]flex.BatchJob, len(engines))
 	for i, e := range engines {
 		jobs[i] = flex.BatchJob{
 			Layout:  layout,
+			Design:  designRef,
+			Scale:   *scale,
 			Engine:  e,
 			Options: flex.Options{Threads: *threads},
 			Tag:     names[i],
@@ -136,11 +163,22 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr)
 	}
-	sum, err := flex.LegalizeBatch(context.Background(), jobs,
-		flex.BatchOptions{Workers: *workers, FPGAs: *fpgas, OnResult: progress})
+	// One long-lived service per invocation: the worker pool, the modeled
+	// board pool, and (with -cache-mb) the layout cache that -design jobs
+	// resolve through.
+	svc := flex.NewService(flex.WithWorkers(*workers), flex.WithFPGAs(*fpgas),
+		flex.WithCacheBytes(int64(*cacheMB)<<20))
+	defer svc.Close()
+	sum, err := svc.Submit(context.Background(), jobs, flex.SubmitOptions{OnResult: progress})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *cacheMB > 0 {
+		st := svc.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses (rate %.2f), %d entries, %.1f MiB resident\n",
+			st.CacheHits, st.CacheMisses, st.CacheHitRate(),
+			st.CacheEntries, float64(st.CacheBytes)/(1<<20))
 	}
 
 	exit := 0

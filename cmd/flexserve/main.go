@@ -1,0 +1,88 @@
+// Command flexserve exposes a long-lived flex.Service over HTTP: the
+// serving path of the FLEX reproduction, multiplexing many legalization
+// requests over one worker pool, one modeled FPGA board pool, and one
+// memoizing layout cache.
+//
+// Usage:
+//
+//	flexserve [-addr :8080] [-workers N] [-fpgas N]
+//	          [-cache-mb 256] [-queue-depth 1024] [-max-body-mb 64]
+//	          [-max-scale 0.2]
+//
+// API:
+//
+//	POST /v1/legalize
+//	    Body: {"jobs":[{"design":"fft_a_md2","scale":0.02,"engine":"flex"},
+//	                   {"layout":"<flexpl text>","engine":"mgl"}],
+//	           "failFast":false,"includeLayout":false}
+//	    — or a raw flexpl payload (non-JSON Content-Type) with
+//	    ?engine=flex&tag=mine.
+//	    Design jobs must carry an explicit scale in (0, -max-scale].
+//	    Streams NDJSON: one result line per job in completion order, then
+//	    {"done":true,...}. 400 on malformed payloads, 413 on oversized
+//	    bodies, 429 when the queue is full (admission control), 503 while
+//	    shutting down.
+//	GET /v1/stats    — cumulative service statistics (jobs, cache hit
+//	                   rate, device contention) as JSON.
+//	GET /healthz     — liveness probe.
+//
+// The server drains in-flight batches on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	flex "github.com/flex-eda/flex"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent legalization jobs (0 = GOMAXPROCS)")
+	fpgas := flag.Int("fpgas", 1, "modeled FPGA boards shared by FLEX jobs (negative = unlimited)")
+	cacheMB := flag.Int("cache-mb", 256, "layout cache budget in MiB (0 = off)")
+	queueDepth := flag.Int("queue-depth", 1024, "admission bound on queued+running jobs (0 = unbounded)")
+	maxBodyMB := flag.Int("max-body-mb", 64, "request body size limit in MiB")
+	maxScale := flag.Float64("max-scale", 0.2, "largest generation scale a design job may request")
+	flag.Parse()
+
+	svc := flex.NewService(
+		flex.WithWorkers(*workers),
+		flex.WithFPGAs(*fpgas),
+		flex.WithCacheBytes(int64(*cacheMB)<<20),
+		flex.WithQueueDepth(*queueDepth),
+	)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(svc, int64(*maxBodyMB)<<20, *maxScale),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "flexserve: listening on %s (workers=%d fpgas=%d cache=%dMiB queue=%d)\n",
+		*addr, svc.Stats().Workers, *fpgas, *cacheMB, *queueDepth)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "flexserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	svc.Close()
+}

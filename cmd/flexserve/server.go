@@ -1,0 +1,313 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	flex "github.com/flex-eda/flex"
+)
+
+// jobRequest is one legalization job in a POST /v1/legalize body. Exactly
+// one of Design (a built-in benchmark reference, generated server-side at
+// Scale) or Layout (an inline flexpl payload) must be set.
+type jobRequest struct {
+	Design  string  `json:"design,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+	Layout  string  `json:"layout,omitempty"`
+	Engine  string  `json:"engine,omitempty"` // default "flex"
+	Threads int     `json:"threads,omitempty"`
+	Tag     string  `json:"tag,omitempty"`
+}
+
+// legalizeRequest is the POST /v1/legalize body.
+type legalizeRequest struct {
+	Jobs []jobRequest `json:"jobs"`
+	// FailFast cancels the remaining jobs after the first error.
+	FailFast bool `json:"failFast,omitempty"`
+	// IncludeLayout echoes each successful job's legalized layout as
+	// flexpl text in its result line (large!).
+	IncludeLayout bool `json:"includeLayout,omitempty"`
+}
+
+// resultLine is one NDJSON line of the streaming response: a job result in
+// completion order, then one final summary line with "done": true.
+type resultLine struct {
+	Index          int     `json:"index"`
+	Tag            string  `json:"tag,omitempty"`
+	Error          string  `json:"error,omitempty"`
+	Skipped        bool    `json:"skipped,omitempty"`
+	Engine         string  `json:"engine,omitempty"`
+	Legal          *bool   `json:"legal,omitempty"`
+	Violations     int     `json:"violations,omitempty"`
+	Movable        int     `json:"movable,omitempty"`
+	AveDis         float64 `json:"aveDis,omitempty"`
+	MaxDis         float64 `json:"maxDis,omitempty"`
+	ModeledSeconds float64 `json:"modeledSeconds,omitempty"`
+	WallMs         float64 `json:"wallMs,omitempty"`
+	DeviceWaitMs   float64 `json:"deviceWaitMs,omitempty"`
+	DeviceHoldMs   float64 `json:"deviceHoldMs,omitempty"`
+	Layout         string  `json:"layout,omitempty"`
+}
+
+// summaryLine closes every NDJSON stream.
+type summaryLine struct {
+	Done           bool    `json:"done"`
+	Jobs           int     `json:"jobs"`
+	Errors         int     `json:"errors"`
+	Skipped        int     `json:"skipped"`
+	ModeledSeconds float64 `json:"modeledSeconds"`
+	WallMs         float64 `json:"wallMs"`
+}
+
+// errorBody is the JSON error envelope of non-streaming failures.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// statsResponse mirrors flex.ServiceStats with durations in milliseconds,
+// so curl consumers aren't handed nanosecond integers.
+type statsResponse struct {
+	Batches         int64   `json:"batches"`
+	Jobs            int64   `json:"jobs"`
+	Errors          int64   `json:"errors"`
+	Skipped         int64   `json:"skipped"`
+	Overloaded      int64   `json:"overloaded"`
+	Workers         int     `json:"workers"`
+	FPGAs           int     `json:"fpgas"` // 0 = unlimited
+	QueueDepth      int     `json:"queueDepth"`
+	CacheHits       int64   `json:"cacheHits"`
+	CacheMisses     int64   `json:"cacheMisses"`
+	CacheHitRate    float64 `json:"cacheHitRate"`
+	CacheEvictions  int64   `json:"cacheEvictions"`
+	CacheEntries    int     `json:"cacheEntries"`
+	CacheBytes      int64   `json:"cacheBytes"`
+	CacheMaxBytes   int64   `json:"cacheMaxBytes"`
+	DeviceWaitMs    float64 `json:"deviceWaitMs"`
+	DeviceHoldMs    float64 `json:"deviceHoldMs"`
+	DeviceAcquires  int     `json:"deviceAcquires"`
+	DeviceContended int     `json:"deviceContended"`
+}
+
+// server is the HTTP front end over one long-lived flex.Service.
+type server struct {
+	svc      *flex.Service
+	maxBody  int64
+	maxScale float64
+	knownSet map[string]bool // valid design names, for up-front 400s
+}
+
+// newServer routes the serving API over svc. maxBody bounds request bodies
+// in bytes (<= 0 = 64 MiB); maxScale bounds the generation scale a design
+// job may request (<= 0 = 0.2) — admission control against a stray
+// paper-size generation monopolizing a worker.
+func newServer(svc *flex.Service, maxBody int64, maxScale float64) http.Handler {
+	if maxBody <= 0 {
+		maxBody = 64 << 20
+	}
+	if maxScale <= 0 {
+		maxScale = 0.2
+	}
+	s := &server{svc: svc, maxBody: maxBody, maxScale: maxScale, knownSet: map[string]bool{}}
+	for _, d := range flex.Designs() {
+		s.knownSet[d] = true
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/legalize", s.handleLegalize)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSONError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// parseJobs validates the request body into batch jobs, mapping every
+// malformed input to a descriptive client error.
+func (s *server) parseJobs(r *http.Request) ([]flex.BatchJob, legalizeRequest, error) {
+	var req legalizeRequest
+	ct := r.Header.Get("Content-Type")
+	if strings.Contains(ct, "json") {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return nil, req, fmt.Errorf("invalid JSON body: %w", err)
+		}
+	} else {
+		// A raw flexpl payload: one job, engine/tag from query params.
+		l, err := flex.ReadLayout(r.Body)
+		if err != nil {
+			return nil, req, fmt.Errorf("invalid flexpl payload: %w", err)
+		}
+		e, err := parseEngineDefault(r.URL.Query().Get("engine"))
+		if err != nil {
+			return nil, req, err
+		}
+		return []flex.BatchJob{{Layout: l, Engine: e, Tag: r.URL.Query().Get("tag")}}, req, nil
+	}
+	if len(req.Jobs) == 0 {
+		return nil, req, errors.New("no jobs in request")
+	}
+	jobs := make([]flex.BatchJob, len(req.Jobs))
+	for i, jr := range req.Jobs {
+		e, err := parseEngineDefault(jr.Engine)
+		if err != nil {
+			return nil, req, fmt.Errorf("job %d: %w", i, err)
+		}
+		j := flex.BatchJob{
+			Engine:  e,
+			Options: flex.Options{Threads: jr.Threads},
+			Tag:     jr.Tag,
+			Scale:   jr.Scale,
+		}
+		switch {
+		case jr.Layout != "" && jr.Design != "":
+			return nil, req, fmt.Errorf("job %d: design and layout are mutually exclusive", i)
+		case jr.Layout != "":
+			l, err := flex.ReadLayout(strings.NewReader(jr.Layout))
+			if err != nil {
+				return nil, req, fmt.Errorf("job %d: invalid flexpl layout: %w", i, err)
+			}
+			j.Layout = l
+		case jr.Design != "":
+			if !s.knownSet[jr.Design] {
+				return nil, req, fmt.Errorf("job %d: unknown design %q", i, jr.Design)
+			}
+			// Scale is mandatory and bounded for design refs: an omitted
+			// scale must not silently default to the paper-size 1.0 that
+			// the library's BatchJob convention would apply.
+			if jr.Scale <= 0 {
+				return nil, req, fmt.Errorf("job %d: scale must be positive (0 < scale <= %g)", i, s.maxScale)
+			}
+			if jr.Scale > s.maxScale {
+				return nil, req, fmt.Errorf("job %d: scale %g exceeds the server's limit %g", i, jr.Scale, s.maxScale)
+			}
+			j.Design = jr.Design
+		default:
+			return nil, req, fmt.Errorf("job %d: one of design or layout is required", i)
+		}
+		jobs[i] = j
+	}
+	return jobs, req, nil
+}
+
+// parseEngineDefault maps an optional engine name ("" = flex).
+func parseEngineDefault(name string) (flex.Engine, error) {
+	if name == "" {
+		return flex.EngineFLEX, nil
+	}
+	return flex.ParseEngine(name)
+}
+
+// handleLegalize admits the batch onto the service and streams one NDJSON
+// result line per job in completion order, then a summary line. Admission
+// failures map to 429 (overloaded) / 503 (closed); malformed payloads to
+// 400. Per-job failures after admission ride in their result lines — the
+// stream already committed to 200 by then.
+func (s *server) handleLegalize(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	jobs, req, err := s.parseJobs(r)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSONError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d-byte limit", tooLarge.Limit)
+			return
+		}
+		writeJSONError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	ch, err := s.svc.Stream(r.Context(), jobs, flex.SubmitOptions{FailFast: req.FailFast})
+	switch {
+	case errors.Is(err, flex.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeJSONError(w, http.StatusTooManyRequests, "service overloaded: queue full")
+		return
+	case errors.Is(err, flex.ErrServiceClosed):
+		writeJSONError(w, http.StatusServiceUnavailable, "service shutting down")
+		return
+	case err != nil:
+		writeJSONError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var sum summaryLine
+	for res := range ch {
+		sum.Jobs++
+		line := resultLine{Index: res.Index, Tag: res.Tag}
+		switch {
+		case flex.IsBatchSkipped(res.Err):
+			sum.Skipped++
+			line.Skipped = true
+			line.Error = res.Err.Error()
+		case res.Err != nil:
+			sum.Errors++
+			line.Error = res.Err.Error()
+		default:
+			o := res.Outcome
+			legal := o.Legal
+			line.Engine = o.Engine.String()
+			line.Legal = &legal
+			line.Violations = len(o.Violations)
+			line.Movable = o.Metrics.Movable
+			line.AveDis = o.Metrics.AveDis
+			line.MaxDis = o.Metrics.MaxDis
+			line.ModeledSeconds = o.ModeledSeconds
+			line.WallMs = ms(res.Wall)
+			line.DeviceWaitMs = ms(res.DeviceWait)
+			line.DeviceHoldMs = ms(res.DeviceHold)
+			sum.ModeledSeconds += o.ModeledSeconds
+			if req.IncludeLayout {
+				var sb strings.Builder
+				if err := flex.WriteLayout(&sb, o.Layout); err == nil {
+					line.Layout = sb.String()
+				}
+			}
+		}
+		if err := enc.Encode(line); err != nil {
+			// Client went away: drain the channel (the service needs its
+			// queue slots back) and stop writing.
+			for range ch {
+			}
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	sum.Done = true
+	sum.WallMs = ms(time.Since(start))
+	enc.Encode(sum)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.svc.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(statsResponse{
+		Batches: st.Batches, Jobs: st.Jobs, Errors: st.Errors,
+		Skipped: st.Skipped, Overloaded: st.Overloaded,
+		Workers: st.Workers, FPGAs: st.FPGAs, QueueDepth: st.QueueDepth,
+		CacheHits: st.CacheHits, CacheMisses: st.CacheMisses,
+		CacheHitRate:   st.CacheHitRate(),
+		CacheEvictions: st.CacheEvictions, CacheEntries: st.CacheEntries,
+		CacheBytes: st.CacheBytes, CacheMaxBytes: st.CacheMaxBytes,
+		DeviceWaitMs: ms(st.DeviceWait), DeviceHoldMs: ms(st.DeviceHold),
+		DeviceAcquires: st.DeviceAcquires, DeviceContended: st.DeviceContended,
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

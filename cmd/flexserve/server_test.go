@@ -1,0 +1,312 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	flex "github.com/flex-eda/flex"
+)
+
+// newTestServer builds a server over a small real Service.
+func newTestServer(t *testing.T, opts ...flex.ServiceOption) *httptest.Server {
+	t.Helper()
+	if len(opts) == 0 {
+		opts = []flex.ServiceOption{flex.WithWorkers(2), flex.WithCacheBytes(32 << 20)}
+	}
+	svc := flex.NewService(opts...)
+	ts := httptest.NewServer(newServer(svc, 8<<20, 0.05))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts
+}
+
+// decodeNDJSON parses a streaming response body: result lines then the
+// summary line.
+func decodeNDJSON(t *testing.T, body *bufio.Scanner) ([]resultLine, summaryLine) {
+	t.Helper()
+	var results []resultLine
+	var sum summaryLine
+	sawDone := false
+	for body.Scan() {
+		line := strings.TrimSpace(body.Text())
+		if line == "" {
+			continue
+		}
+		if sawDone {
+			t.Fatalf("line after summary: %s", line)
+		}
+		var probe map[string]any
+		if err := json.Unmarshal([]byte(line), &probe); err != nil {
+			t.Fatalf("invalid NDJSON line %q: %v", line, err)
+		}
+		if _, ok := probe["done"]; ok {
+			if err := json.Unmarshal([]byte(line), &sum); err != nil {
+				t.Fatal(err)
+			}
+			sawDone = true
+			continue
+		}
+		var r resultLine
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	if !sawDone {
+		t.Fatal("stream ended without a summary line")
+	}
+	return results, sum
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("body %v", body)
+	}
+}
+
+func TestLegalizeDesignRefs(t *testing.T) {
+	ts := newTestServer(t)
+	req := `{"jobs":[
+		{"design":"fft_a_md2","scale":0.008,"engine":"flex","tag":"a"},
+		{"design":"fft_a_md2","scale":0.008,"engine":"mgl","tag":"b"}
+	]}`
+	resp, err := http.Post(ts.URL+"/v1/legalize", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content-type %q", ct)
+	}
+	results, sum := decodeNDJSON(t, bufio.NewScanner(resp.Body))
+	if len(results) != 2 || sum.Jobs != 2 || sum.Errors != 0 || !sum.Done {
+		t.Fatalf("results %+v summary %+v", results, sum)
+	}
+	seen := map[int]resultLine{}
+	for _, r := range results {
+		seen[r.Index] = r
+		if r.Error != "" || r.Legal == nil || !*r.Legal {
+			t.Fatalf("bad result %+v", r)
+		}
+		if r.ModeledSeconds <= 0 || r.Movable <= 0 {
+			t.Fatalf("missing metrics in %+v", r)
+		}
+	}
+	if seen[0].Engine != "FLEX" || seen[0].Tag != "a" {
+		t.Fatalf("job 0 %+v", seen[0])
+	}
+	if seen[1].Engine != "MGL" || seen[1].Tag != "b" {
+		t.Fatalf("job 1 %+v", seen[1])
+	}
+	if sum.ModeledSeconds <= 0 {
+		t.Fatalf("summary %+v", sum)
+	}
+
+	// The same design twice: the second lookup must have hit the cache.
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Jobs != 2 || st.Batches != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.CacheMisses != 1 || st.CacheHits != 1 {
+		t.Fatalf("cache hits/misses = %d/%d, want 1/1", st.CacheHits, st.CacheMisses)
+	}
+}
+
+func TestLegalizeRawFlexplPayload(t *testing.T) {
+	layout, err := flex.GenerateCustom(300, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := flex.WriteLayout(&sb, layout); err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/legalize?engine=analytical&tag=raw", "text/plain", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	results, sum := decodeNDJSON(t, bufio.NewScanner(resp.Body))
+	if len(results) != 1 || sum.Errors != 0 {
+		t.Fatalf("results %+v summary %+v", results, sum)
+	}
+	if results[0].Tag != "raw" || results[0].Engine != "ISPD'25" {
+		t.Fatalf("result %+v", results[0])
+	}
+}
+
+func TestLegalizeIncludeLayoutRoundTrips(t *testing.T) {
+	ts := newTestServer(t)
+	req := `{"jobs":[{"design":"fft_a_md2","scale":0.008}],"includeLayout":true}`
+	resp, err := http.Post(ts.URL+"/v1/legalize", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 16<<20) // layout lines are big
+	results, _ := decodeNDJSON(t, sc)
+	if len(results) != 1 || results[0].Layout == "" {
+		t.Fatalf("no layout echoed: %+v", results)
+	}
+	l, err := flex.ReadLayout(strings.NewReader(results[0].Layout))
+	if err != nil {
+		t.Fatalf("echoed layout does not parse: %v", err)
+	}
+	if got := flex.Check(l, 1); len(got) != 0 {
+		t.Fatalf("echoed layout illegal: %v", got)
+	}
+}
+
+func TestLegalizeMalformedRequests(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		name, body, wantSub string
+	}{
+		{"broken JSON", `{"jobs":`, "invalid JSON"},
+		{"no jobs", `{"jobs":[]}`, "no jobs"},
+		{"neither design nor layout", `{"jobs":[{"engine":"flex"}]}`, "one of design or layout"},
+		{"both design and layout", `{"jobs":[{"design":"fft_a_md2","layout":"x"}]}`, "mutually exclusive"},
+		{"unknown design", `{"jobs":[{"design":"nope"}]}`, "unknown design"},
+		{"unknown engine", `{"jobs":[{"design":"fft_a_md2","engine":"turbo"}]}`, "unknown engine"},
+		{"bad layout text", `{"jobs":[{"layout":"not flexpl at all"}]}`, "invalid flexpl"},
+		// Scale is mandatory and bounded for design refs: an omitted scale
+		// must not silently become the paper-size default.
+		{"missing scale", `{"jobs":[{"design":"fft_a_md2"}]}`, "scale must be positive"},
+		{"negative scale", `{"jobs":[{"design":"fft_a_md2","scale":-1}]}`, "scale must be positive"},
+		{"scale over server limit", `{"jobs":[{"design":"fft_a_md2","scale":1.0}]}`, "exceeds the server's limit"},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/v1/legalize", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eb errorBody
+		if decErr := json.NewDecoder(resp.Body).Decode(&eb); decErr != nil {
+			t.Fatalf("%s: error body: %v", c.name, decErr)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400 (%+v)", c.name, resp.StatusCode, eb)
+		}
+		if !strings.Contains(eb.Error, c.wantSub) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, eb.Error, c.wantSub)
+		}
+	}
+}
+
+func TestLegalizeOverloadReturns429(t *testing.T) {
+	// Queue depth 1: a 2-job batch can never be admitted.
+	ts := newTestServer(t, flex.WithWorkers(1), flex.WithQueueDepth(1))
+	req := `{"jobs":[{"design":"fft_a_md2","scale":0.008},{"design":"fft_a_md2","scale":0.008}]}`
+	resp, err := http.Post(ts.URL+"/v1/legalize", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eb.Error, "overloaded") {
+		t.Fatalf("error %q", eb.Error)
+	}
+
+	// A fitting request still succeeds, and the rejection is counted.
+	ok, err := http.Post(ts.URL+"/v1/legalize", "application/json",
+		strings.NewReader(`{"jobs":[{"design":"fft_a_md2","scale":0.008}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("fitting request status %d", ok.StatusCode)
+	}
+	decodeNDJSON(t, bufio.NewScanner(ok.Body))
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Overloaded != 1 || st.Jobs != 1 {
+		t.Fatalf("stats %+v, want 1 overloaded / 1 job", st)
+	}
+}
+
+func TestLegalizeOversizedBodyReturns413(t *testing.T) {
+	svc := flex.NewService(flex.WithWorkers(1))
+	ts := httptest.NewServer(newServer(svc, 1024, 0.05)) // 1 KiB body limit
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	body := `{"jobs":[{"layout":"` + strings.Repeat("x", 4096) + `"}]}`
+	resp, err := http.Post(ts.URL+"/v1/legalize", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eb.Error, "limit") {
+		t.Fatalf("error %q does not name the size limit", eb.Error)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/legalize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/legalize status %d, want 405", resp.StatusCode)
+	}
+}

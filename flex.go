@@ -22,6 +22,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"strings"
 	"time"
 
 	"github.com/flex-eda/flex/internal/analytical"
@@ -88,6 +90,39 @@ func (e Engine) String() string {
 		return "ISPD'25"
 	}
 	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// engineRegistry is the single source of the canonical engine names, FLEX
+// first — EngineNames, ParseEngine, and every CLI/server error message
+// derive from it, so the accepted name set cannot drift between surfaces.
+var engineRegistry = []struct {
+	name   string
+	engine Engine
+}{
+	{"flex", EngineFLEX},
+	{"mgl", EngineMGL},
+	{"mgl-mt", EngineMGLMT},
+	{"gpu", EngineGPU},
+	{"analytical", EngineAnalytical},
+}
+
+// EngineNames lists the canonical names ParseEngine accepts, FLEX first.
+func EngineNames() []string {
+	names := make([]string, len(engineRegistry))
+	for i, r := range engineRegistry {
+		names[i] = r.name
+	}
+	return names
+}
+
+// ParseEngine maps a canonical engine name (see EngineNames) to its Engine.
+func ParseEngine(name string) (Engine, error) {
+	for _, r := range engineRegistry {
+		if r.name == name {
+			return r.engine, nil
+		}
+	}
+	return 0, fmt.Errorf("flex: unknown engine %q (want %s)", name, strings.Join(EngineNames(), ", "))
 }
 
 // Options tunes an engine run. The zero value picks the paper's defaults.
@@ -218,9 +253,6 @@ type BatchOptions struct {
 	OnResult func(BatchResult)
 }
 
-// device builds the modeled board pool for one batch run.
-func (o BatchOptions) device() *batch.Device { return batch.DevicePool(o.FPGAs) }
-
 // BatchResult is one job's outcome within a batch.
 type BatchResult struct {
 	// Index is the job's position in the submitted slice.
@@ -270,9 +302,11 @@ type BatchSummary struct {
 }
 
 // job builds the worker-pool closure: a CPU generation phase that overlaps
-// freely, then — for engines that need the FPGA — a device phase holding
-// one modeled board while the engine streams the design through it.
-func (j BatchJob) job() batch.Job[*Outcome] {
+// freely (resolving Design references through the supplied layout source —
+// a Service's memoizing cache, or plain Generate), then — for engines that
+// need the FPGA — a device phase holding one modeled board while the engine
+// streams the design through it.
+func (j BatchJob) job(generate func(design string, scale float64) (*Layout, error)) batch.Job[*Outcome] {
 	return func(ctx context.Context) (*Outcome, error) {
 		l := j.Layout
 		if l == nil {
@@ -281,7 +315,7 @@ func (j BatchJob) job() batch.Job[*Outcome] {
 				scale = 1.0
 			}
 			var err error
-			if l, err = Generate(j.Design, scale); err != nil {
+			if l, err = generate(j.Design, scale); err != nil {
 				return nil, err
 			}
 		}
@@ -307,12 +341,12 @@ func (j BatchJob) toResult(r batch.Result[*Outcome]) BatchResult {
 	}
 }
 
-func batchJobs(jobs []BatchJob) []batch.Job[*Outcome] {
-	bjobs := make([]batch.Job[*Outcome], len(jobs))
-	for i, j := range jobs {
-		bjobs[i] = j.job()
-	}
-	return bjobs
+// throwawayService builds the single-batch Service backing one
+// LegalizeBatch/LegalizeBatchStream call: same workers and boards, no
+// cache, no admission bound — so the free functions stay byte-identical to
+// their pre-Service behaviour while sharing the Service execution path.
+func (o BatchOptions) throwawayService() *Service {
+	return NewService(WithWorkers(o.Workers), WithFPGAs(o.FPGAs))
 }
 
 // LegalizeBatch fans independent legalization jobs across a bounded worker
@@ -324,30 +358,14 @@ func batchJobs(jobs []BatchJob) []batch.Job[*Outcome] {
 // statistics. The returned error is non-nil only when the batch as a whole
 // stopped early: ctx was canceled while jobs were pending or in flight, or
 // BatchOptions.FailFast tripped on the first job error.
+//
+// LegalizeBatch is a thin wrapper over a throwaway Service; long-lived
+// callers (servers, multi-batch CLI runs) should hold their own Service to
+// amortize the pool and reuse its layout cache.
 func LegalizeBatch(ctx context.Context, jobs []BatchJob, opt BatchOptions) (*BatchSummary, error) {
-	dev := opt.device()
-	var onResult func(batch.Result[*Outcome])
-	if opt.OnResult != nil {
-		onResult = func(r batch.Result[*Outcome]) { opt.OnResult(jobs[r.Index].toResult(r)) }
-	}
-	results, stats, err := batch.RunWith(ctx, batchJobs(jobs),
-		batch.Options{Workers: opt.Workers, FailFast: opt.FailFast, Device: dev}, onResult)
-	sum := &BatchSummary{
-		Results: make([]BatchResult, len(results)),
-		Errors:  stats.Errors,
-		Skipped: stats.Skipped,
-		Workers: stats.Workers,
-		Wall:    stats.Wall, WorkWall: stats.WorkWall,
-		FPGAs:      stats.FPGAs,
-		DeviceWait: stats.DeviceWait, DeviceHold: stats.DeviceHold,
-	}
-	for i, r := range results {
-		sum.Results[i] = jobs[i].toResult(r)
-		if r.Err == nil && r.Value != nil {
-			sum.ModeledSeconds += r.Value.ModeledSeconds
-		}
-	}
-	return sum, err
+	s := opt.throwawayService()
+	defer s.Close()
+	return s.Submit(ctx, jobs, SubmitOptions{FailFast: opt.FailFast, OnResult: opt.OnResult})
 }
 
 // LegalizeBatchStream is the streaming form of LegalizeBatch: it returns
@@ -356,21 +374,16 @@ func LegalizeBatch(ctx context.Context, jobs []BatchJob, opt BatchOptions) (*Bat
 // exactly len(jobs) sends — skipped jobs carry an error matched by
 // IsBatchSkipped. Callers must drain the channel; cancel ctx to stop
 // early. BatchOptions.OnResult, when also set, observes each result just
-// before it is sent.
+// before it is sent. Like LegalizeBatch, it wraps a throwaway Service —
+// see Service.Stream for the long-lived form.
 func LegalizeBatchStream(ctx context.Context, jobs []BatchJob, opt BatchOptions) <-chan BatchResult {
-	in := batch.Stream(ctx, batchJobs(jobs),
-		batch.Options{Workers: opt.Workers, FailFast: opt.FailFast, Device: opt.device()})
-	out := make(chan BatchResult)
-	go func() {
-		defer close(out)
-		for r := range in {
-			br := jobs[r.Index].toResult(r)
-			if opt.OnResult != nil {
-				opt.OnResult(br)
-			}
-			out <- br
-		}
-	}()
+	s := opt.throwawayService()
+	out, err := s.stream(ctx, jobs, SubmitOptions{FailFast: opt.FailFast, OnResult: opt.OnResult},
+		func() { s.Close() })
+	if err != nil {
+		// Unreachable: a fresh service has no queue bound and is not closed.
+		panic("flex: throwaway service rejected batch: " + err.Error())
+	}
 	return out
 }
 
@@ -391,19 +404,52 @@ func Designs() []string {
 	return names
 }
 
-// Generate synthesizes the named benchmark at the given scale factor
-// (1.0 = the paper's cell count; 0.02 is a laptop-friendly size).
-func Generate(name string, scale float64) (*Layout, error) {
+// validateScale rejects scale factors that cannot describe a benchmark
+// size — zero, negative, NaN, or infinite — before any generation work.
+func validateScale(scale float64) error {
+	if math.IsNaN(scale) || math.IsInf(scale, 0) || scale <= 0 {
+		return fmt.Errorf("flex: scale must be a positive finite factor (1.0 = paper size), got %v", scale)
+	}
+	return nil
+}
+
+// lookupSpec validates the scale and resolves a design name — the shared
+// front door of Generate and the Service's cached layout source, so both
+// paths reject bad input with identical errors.
+func lookupSpec(name string, scale float64) (gen.Spec, error) {
+	if err := validateScale(scale); err != nil {
+		return gen.Spec{}, err
+	}
 	spec, ok := gen.ByName(name)
 	if !ok {
-		return nil, fmt.Errorf("flex: unknown design %q (see Designs())", name)
+		return gen.Spec{}, fmt.Errorf("flex: unknown design %q (see Designs())", name)
+	}
+	return spec, nil
+}
+
+// Generate synthesizes the named benchmark at the given scale factor
+// (1.0 = the paper's cell count; 0.02 is a laptop-friendly size). The
+// scale must be a positive finite number and the name one of Designs().
+func Generate(name string, scale float64) (*Layout, error) {
+	spec, err := lookupSpec(name, scale)
+	if err != nil {
+		return nil, err
 	}
 	return spec.Generate(scale)
 }
 
 // GenerateCustom synthesizes an ad-hoc benchmark with the given movable
-// cell count, design density and RNG seed.
+// cell count, design density and RNG seed. The cell count must be
+// positive and the density in (0, 1] — a fraction of the free area (very
+// high densities may still be rejected by the packer, which needs slack to
+// place every cell legally).
 func GenerateCustom(cells int, density float64, seed int64) (*Layout, error) {
+	if cells <= 0 {
+		return nil, fmt.Errorf("flex: cell count must be positive, got %d", cells)
+	}
+	if math.IsNaN(density) || density <= 0 || density > 1 {
+		return nil, fmt.Errorf("flex: density must be in (0, 1], got %v", density)
+	}
 	return gen.Small(cells, density, seed).Generate(1.0)
 }
 

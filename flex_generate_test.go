@@ -1,0 +1,85 @@
+package flex_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	flex "github.com/flex-eda/flex"
+)
+
+// TestGenerateValidatesScale pins the up-front input validation: degenerate
+// scales fail with a descriptive error instead of generating nonsense.
+func TestGenerateValidatesScale(t *testing.T) {
+	for _, scale := range []float64{0, -0.5, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		_, err := flex.Generate("fft_a_md2", scale)
+		if err == nil {
+			t.Fatalf("Generate(scale=%v) succeeded, want error", scale)
+		}
+		if !strings.Contains(err.Error(), "scale") {
+			t.Fatalf("Generate(scale=%v) error %q does not name the scale", scale, err)
+		}
+	}
+	if _, err := flex.Generate("fft_a_md2", 0.01); err != nil {
+		t.Fatalf("valid scale rejected: %v", err)
+	}
+}
+
+func TestGenerateUnknownDesign(t *testing.T) {
+	_, err := flex.Generate("no_such_design", 0.02)
+	if err == nil || !strings.Contains(err.Error(), "no_such_design") {
+		t.Fatalf("err = %v, want unknown-design error naming the design", err)
+	}
+}
+
+// TestGenerateCustomValidatesInputs covers the cells/density contract.
+func TestGenerateCustomValidatesInputs(t *testing.T) {
+	cases := []struct {
+		name    string
+		cells   int
+		density float64
+		wantSub string
+	}{
+		{"zero cells", 0, 0.5, "cell count"},
+		{"negative cells", -10, 0.5, "cell count"},
+		{"zero density", 100, 0, "density"},
+		{"negative density", 100, -0.3, "density"},
+		{"density above 1", 100, 1.5, "density"},
+		{"NaN density", 100, math.NaN(), "density"},
+	}
+	for _, c := range cases {
+		_, err := flex.GenerateCustom(c.cells, c.density, 1)
+		if err == nil {
+			t.Fatalf("%s: GenerateCustom(%d, %v) succeeded, want error", c.name, c.cells, c.density)
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+	if _, err := flex.GenerateCustom(200, 0.5, 1); err != nil {
+		t.Fatalf("valid inputs rejected: %v", err)
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	want := map[string]flex.Engine{
+		"flex":       flex.EngineFLEX,
+		"mgl":        flex.EngineMGL,
+		"mgl-mt":     flex.EngineMGLMT,
+		"gpu":        flex.EngineGPU,
+		"analytical": flex.EngineAnalytical,
+	}
+	names := flex.EngineNames()
+	if len(names) != len(want) || names[0] != "flex" {
+		t.Fatalf("EngineNames() = %v", names)
+	}
+	for _, n := range names {
+		e, err := flex.ParseEngine(n)
+		if err != nil || e != want[n] {
+			t.Fatalf("ParseEngine(%q) = %v, %v", n, e, err)
+		}
+	}
+	if _, err := flex.ParseEngine("bogus"); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("ParseEngine(bogus) err = %v", err)
+	}
+}

@@ -18,7 +18,6 @@ import (
 	"context"
 	"errors"
 	"runtime"
-	"sync"
 	"time"
 )
 
@@ -44,6 +43,11 @@ type Result[T any] struct {
 	// are zero for CPU-only jobs and for batches without a device.
 	DeviceWait time.Duration
 	DeviceHold time.Duration
+	// deviceAcquires/deviceContended count the job's board acquisitions
+	// (and how many had to wait), so batch stats stay exact per batch even
+	// on a pool shared by concurrent batches.
+	deviceAcquires  int
+	deviceContended int
 	// aborted marks a cancellation-shaped error returned while the batch
 	// context was already canceled: the batch cut the job short, as
 	// opposed to a job-owned sub-context timing out on a healthy batch.
@@ -132,73 +136,20 @@ func (s *Stats) Add(o Stats) {
 // reorder). Exactly len(jobs) results are sent — skipped jobs carry
 // ErrSkipped — and the channel is closed afterwards. Callers must drain the
 // channel (cancel the context to stop early); abandoning it leaks workers.
+//
+// Stream is the per-call form of the long-lived Pool: it builds a throwaway
+// pool sized by Options, runs the one batch on it via StreamOn, and tears
+// the pool down once the batch drains — so one-shot and service-style
+// batches share a single execution path and contract.
 func Stream[T any](ctx context.Context, jobs []Job[T], opt Options) <-chan Result[T] {
-	out := make(chan Result[T])
-	go func() {
-		defer close(out)
-		if len(jobs) == 0 {
-			return
-		}
-		ctx, cancel := context.WithCancel(ctx)
-		defer cancel()
-		runCtx := ctx
-		if opt.Device != nil {
-			runCtx = WithDevice(ctx, opt.Device)
-		}
-
-		idx := make(chan int)
-		var skipped sync.Map // indexes the feeder abandoned
-		go func() {
-			defer close(idx)
-			for i := range jobs {
-				select {
-				case idx <- i:
-				case <-ctx.Done():
-					skipped.Store(i, true)
-				}
-			}
-		}()
-
-		var wg sync.WaitGroup
-		for w := 0; w < opt.workers(len(jobs)); w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					if ctx.Err() != nil {
-						out <- Result[T]{Index: i, Err: ErrSkipped}
-						continue
-					}
-					jctx := runCtx
-					var usage *deviceUsage
-					if opt.Device != nil {
-						usage = &deviceUsage{}
-						jctx = context.WithValue(runCtx, usageKey{}, usage)
-					}
-					start := time.Now()
-					v, err := jobs[i](jctx)
-					if err != nil && opt.FailFast {
-						cancel()
-					}
-					r := Result[T]{Index: i, Value: v, Err: err, Wall: time.Since(start)}
-					if err != nil && ctx.Err() != nil &&
-						(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-						r.aborted = true
-					}
-					if usage != nil {
-						r.DeviceWait, r.DeviceHold = usage.wait, usage.hold
-					}
-					out <- r
-				}
-			}()
-		}
-		wg.Wait()
-		skipped.Range(func(k, _ any) bool {
-			out <- Result[T]{Index: k.(int), Err: ErrSkipped}
-			return true
-		})
-	}()
-	return out
+	p := newPool(opt.workers(len(jobs)), opt.Device, 0)
+	ch, err := streamOn(ctx, p, jobs, opt.FailFast, p.Close)
+	if err != nil {
+		// Unreachable: a fresh unbounded pool admits any batch. Fail loudly
+		// rather than silently dropping jobs.
+		panic("batch: throwaway pool rejected batch: " + err.Error())
+	}
+	return ch
 }
 
 // Run executes jobs across a bounded worker pool and returns one Result per
@@ -217,60 +168,9 @@ func Run[T any](ctx context.Context, jobs []Job[T], opt Options) ([]Result[T], S
 // servers use to stream progress while the batch is still running. Keep it
 // fast; it is on the result path.
 func RunWith[T any](ctx context.Context, jobs []Job[T], opt Options, onResult func(Result[T])) ([]Result[T], Stats, error) {
-	start := time.Now()
-	results := make([]Result[T], len(jobs))
-	for r := range Stream(ctx, jobs, opt) {
-		results[r.Index] = r
-		if onResult != nil {
-			onResult(r)
-		}
-	}
-	st := Stats{Jobs: len(jobs), Workers: opt.workers(len(jobs)), Wall: time.Since(start)}
-	var firstErr, firstCancel error
-	for i := range results {
-		r := &results[i]
-		st.WorkWall += r.Wall
-		st.DeviceWait += r.DeviceWait
-		st.DeviceHold += r.DeviceHold
-		switch {
-		case errors.Is(r.Err, ErrSkipped):
-			st.Skipped++
-		case r.Err != nil:
-			st.Errors++
-			if r.aborted {
-				if firstCancel == nil {
-					firstCancel = r.Err
-				}
-			} else if firstErr == nil {
-				// Prefer the first root-cause error over a cancellation
-				// echoed by an in-flight victim job.
-				firstErr = r.Err
-			}
-		}
-	}
-	if opt.Device != nil {
-		ds := opt.Device.Stats()
-		st.FPGAs = ds.Capacity
-		st.DeviceAcquires = ds.Acquires
-		st.DeviceContended = ds.Contended
-	}
-	// A context error fails the batch whenever it actually cut the run
-	// short: jobs were skipped, or in-flight jobs aborted with the
-	// cancellation as their own error. A deadline firing after the last
-	// job completed — even one where some job failed with its own
-	// sub-context's timeout — leaves a full, perfectly good result set.
-	if err := ctx.Err(); err != nil && (st.Skipped > 0 || firstCancel != nil) {
-		return results, st, err
-	}
-	if firstErr == nil {
-		// Only batch-abort cancellation errors remain: under FailFast
-		// the batch still tripped and must not report success.
-		firstErr = firstCancel
-	}
-	if opt.FailFast && firstErr != nil {
-		return results, st, firstErr
-	}
-	return results, st, nil
+	p := newPool(opt.workers(len(jobs)), opt.Device, 0)
+	defer p.Close()
+	return RunOn(ctx, p, jobs, opt.FailFast, onResult)
 }
 
 // Values unwraps a fully successful result set into plain values, in

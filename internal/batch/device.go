@@ -118,12 +118,16 @@ type (
 	usageKey  struct{}
 )
 
-// deviceUsage accumulates one job's device time. It is written by
-// AcquireDevice and read by the worker after the job returns, all on the
-// job's goroutine.
+// deviceUsage accumulates one job's device time and acquisition counts. It
+// is written by AcquireDevice and read by the worker after the job returns,
+// all on the job's goroutine. Per-job counts let a batch report exact
+// per-batch acquisition statistics even when concurrent batches share one
+// pool — a delta of the pool's cumulative stats would blend the siblings.
 type deviceUsage struct {
-	wait time.Duration
-	hold time.Duration
+	wait      time.Duration
+	hold      time.Duration
+	acquires  int
+	contended int
 }
 
 // WithDevice returns a context carrying the device pool; jobs claim their
@@ -161,12 +165,17 @@ func AcquireDevice(ctx context.Context) (release func(), err error) {
 		// The aborted wait was still time spent queued for the board.
 		if usage != nil {
 			usage.wait += wait
+			usage.contended++
 		}
 		d.noteCanceled(wait)
 		return nil, err
 	}
 	if usage != nil {
 		usage.wait += wait
+		usage.acquires++
+		if contended {
+			usage.contended++
+		}
 	}
 	heldAt := time.Now()
 	var once sync.Once

@@ -1,0 +1,316 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ErrOverloaded rejects a batch whose jobs do not fit the pool's admission
+// bound: queued plus running jobs would exceed PoolConfig.QueueDepth. The
+// batch is rejected atomically, before any of its jobs start.
+var ErrOverloaded = errors.New("batch: pool overloaded (queue full)")
+
+// ErrPoolClosed rejects batches submitted after Close.
+var ErrPoolClosed = errors.New("batch: pool closed")
+
+// PoolConfig sizes a worker pool.
+type PoolConfig struct {
+	// Workers is the number of persistent worker goroutines (<= 0 =
+	// GOMAXPROCS). It bounds concurrently running jobs across every batch
+	// sharing the pool.
+	Workers int
+	// FPGAs is the modeled accelerator board count shared by every batch on
+	// the pool (0 = 1 board, the paper's single-card host; negative =
+	// unlimited, no device modeling) — the DevicePool knob.
+	FPGAs int
+	// QueueDepth bounds admitted jobs (queued + running, across batches);
+	// 0 = unbounded. A batch larger than the whole depth can never be
+	// admitted and is always rejected with ErrOverloaded.
+	QueueDepth int
+}
+
+// Pool is a long-lived bounded worker pool shared by many batch runs — the
+// persistent heart of a legalization service. Where Run/Stream spin workers
+// up per call, a Pool keeps them (and the modeled accelerator boards) alive
+// across batches, so cross-request state — device contention history,
+// admission control — has somewhere to live.
+//
+// Concurrency-safe: batches from many goroutines interleave on the same
+// workers. Determinism is untouched — jobs are pure functions of their
+// inputs, so sharing workers and boards moves only wall-clock and wait
+// statistics, never results.
+type Pool struct {
+	workers int
+	device  *Device
+	depth   int
+
+	tasks chan func()
+	wg    sync.WaitGroup // worker goroutines
+
+	mu       sync.Mutex
+	admitted int            // jobs admitted and not yet delivered
+	batches  sync.WaitGroup // admitted batches still draining
+	closed   bool
+	jobsDone int64 // delivered results, cumulative
+}
+
+// NewPool starts the pool's workers. Callers must Close it to stop them.
+func NewPool(cfg PoolConfig) *Pool {
+	return newPool(cfg.Workers, DevicePool(cfg.FPGAs), cfg.QueueDepth)
+}
+
+// newPool is the internal constructor: a resolved device instead of the
+// board-count knob, for the throwaway pools Run/Stream build per call.
+func newPool(workers int, device *Device, depth int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: workers,
+		device:  device,
+		depth:   depth,
+		tasks:   make(chan func()),
+	}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the persistent worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Device returns the pool's shared accelerator board model (nil when the
+// pool models unlimited boards).
+func (p *Pool) Device() *Device { return p.device }
+
+// JobsDone returns the cumulative number of job results delivered.
+func (p *Pool) JobsDone() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.jobsDone
+}
+
+// admit reserves n admission slots, or rejects the whole batch.
+func (p *Pool) admit(n int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	if p.depth > 0 && p.admitted+n > p.depth {
+		return ErrOverloaded
+	}
+	p.admitted += n
+	p.batches.Add(1)
+	return nil
+}
+
+// jobDelivered frees one admission slot once a job's result reached the
+// batch's consumer — queue depth bounds the whole pipeline, including
+// results not yet drained.
+func (p *Pool) jobDelivered() {
+	p.mu.Lock()
+	p.admitted--
+	p.jobsDone++
+	p.mu.Unlock()
+}
+
+// batchDone marks one admitted batch fully drained.
+func (p *Pool) batchDone() { p.batches.Done() }
+
+// Close stops accepting batches, waits for admitted batches to drain, then
+// stops the workers. It is idempotent and safe to call concurrently with
+// running batches — but a batch whose result channel is abandoned
+// un-drained blocks Close forever, the same leak the channel contract
+// already forbids.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.batches.Wait()
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// effectiveWorkers is the concurrency a batch of n jobs can actually use on
+// a pool of w workers — the Stats.Workers figure.
+func effectiveWorkers(w, n int) int {
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// StreamOn executes jobs on the shared pool and sends every job's Result on
+// the returned channel in completion order (use Result.Index to reorder).
+// Exactly len(jobs) results are sent — skipped jobs carry ErrSkipped — and
+// the channel is then closed. Callers must drain the channel (cancel ctx to
+// stop early); abandoning it wedges the batch's admission slots and blocks
+// Pool.Close.
+//
+// Admission is atomic: either every job fits the pool's queue depth and the
+// batch runs, or StreamOn returns ErrOverloaded (ErrPoolClosed after Close)
+// and nothing starts.
+func StreamOn[T any](ctx context.Context, p *Pool, jobs []Job[T], failFast bool) (<-chan Result[T], error) {
+	return streamOn(ctx, p, jobs, failFast, nil)
+}
+
+// streamOn is StreamOn with an after-drain hook, run after the result
+// channel closes — how the per-call Stream wrapper tears its throwaway
+// pool down without an extra relay goroutine.
+func streamOn[T any](ctx context.Context, p *Pool, jobs []Job[T], failFast bool, onDrained func()) (<-chan Result[T], error) {
+	if err := p.admit(len(jobs)); err != nil {
+		return nil, err
+	}
+	out := make(chan Result[T])
+	go func() {
+		if onDrained != nil {
+			defer onDrained()
+		}
+		defer close(out)
+		defer p.batchDone()
+		if len(jobs) == 0 {
+			return
+		}
+		bctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		runCtx := bctx
+		if p.device != nil {
+			runCtx = WithDevice(bctx, p.device)
+		}
+
+		// Buffered to len(jobs): a finished worker never blocks on a slow
+		// batch consumer, so one stalled stream cannot wedge the shared
+		// pool's workers.
+		results := make(chan Result[T], len(jobs))
+		go func() {
+			for i := range jobs {
+				i := i
+				task := func() {
+					if bctx.Err() != nil {
+						results <- Result[T]{Index: i, Err: ErrSkipped}
+						return
+					}
+					jctx := runCtx
+					var usage *deviceUsage
+					if p.device != nil {
+						usage = &deviceUsage{}
+						jctx = context.WithValue(runCtx, usageKey{}, usage)
+					}
+					start := time.Now()
+					v, err := jobs[i](jctx)
+					if err != nil && failFast {
+						cancel()
+					}
+					r := Result[T]{Index: i, Value: v, Err: err, Wall: time.Since(start)}
+					if err != nil && bctx.Err() != nil &&
+						(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+						r.aborted = true
+					}
+					if usage != nil {
+						r.DeviceWait, r.DeviceHold = usage.wait, usage.hold
+						r.deviceAcquires, r.deviceContended = usage.acquires, usage.contended
+					}
+					results <- r
+				}
+				select {
+				case p.tasks <- task:
+				case <-bctx.Done():
+					results <- Result[T]{Index: i, Err: ErrSkipped}
+				}
+			}
+		}()
+
+		for n := 0; n < len(jobs); n++ {
+			out <- <-results
+			p.jobDelivered()
+		}
+	}()
+	return out, nil
+}
+
+// RunOn executes jobs on the shared pool and returns one Result per job in
+// submission order plus per-batch stats, with the same error contract as
+// Run: per-job errors live in the results; the returned error is admission
+// rejection (ErrOverloaded, ErrPoolClosed — then results and stats are
+// zero), a batch cut short by ctx, or the first error under failFast.
+// onResult (when non-nil) observes each result in completion order.
+// Device statistics are summed from this batch's own jobs, so they stay
+// exact per batch even when concurrent batches share the pool.
+func RunOn[T any](ctx context.Context, p *Pool, jobs []Job[T], failFast bool, onResult func(Result[T])) ([]Result[T], Stats, error) {
+	start := time.Now()
+	ch, err := StreamOn(ctx, p, jobs, failFast)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	results := make([]Result[T], len(jobs))
+	for r := range ch {
+		results[r.Index] = r
+		if onResult != nil {
+			onResult(r)
+		}
+	}
+	st := Stats{Jobs: len(jobs), Workers: effectiveWorkers(p.workers, len(jobs)), Wall: time.Since(start)}
+	var firstErr, firstCancel error
+	for i := range results {
+		r := &results[i]
+		st.WorkWall += r.Wall
+		st.DeviceWait += r.DeviceWait
+		st.DeviceHold += r.DeviceHold
+		st.DeviceAcquires += r.deviceAcquires
+		st.DeviceContended += r.deviceContended
+		switch {
+		case errors.Is(r.Err, ErrSkipped):
+			st.Skipped++
+		case r.Err != nil:
+			st.Errors++
+			if r.aborted {
+				if firstCancel == nil {
+					firstCancel = r.Err
+				}
+			} else if firstErr == nil {
+				// Prefer the first root-cause error over a cancellation
+				// echoed by an in-flight victim job.
+				firstErr = r.Err
+			}
+		}
+	}
+	if p.device != nil {
+		st.FPGAs = p.device.Capacity()
+	}
+	// A context error fails the batch whenever it actually cut the run
+	// short: jobs were skipped, or in-flight jobs aborted with the
+	// cancellation as their own error. A deadline firing after the last
+	// job completed — even one where some job failed with its own
+	// sub-context's timeout — leaves a full, perfectly good result set.
+	if err := ctx.Err(); err != nil && (st.Skipped > 0 || firstCancel != nil) {
+		return results, st, err
+	}
+	if firstErr == nil {
+		// Only batch-abort cancellation errors remain: under FailFast
+		// the batch still tripped and must not report success.
+		firstErr = firstCancel
+	}
+	if failFast && firstErr != nil {
+		return results, st, firstErr
+	}
+	return results, st, nil
+}

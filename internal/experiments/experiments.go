@@ -13,6 +13,7 @@ import (
 
 	"github.com/flex-eda/flex/internal/analytical"
 	"github.com/flex-eda/flex/internal/batch"
+	"github.com/flex-eda/flex/internal/cache"
 	"github.com/flex-eda/flex/internal/core"
 	"github.com/flex-eda/flex/internal/fpga"
 	"github.com/flex-eda/flex/internal/gen"
@@ -51,6 +52,18 @@ type Options struct {
 	// wait/hold/contention — so callers can report scheduling behaviour
 	// without perturbing the deterministic tables.
 	Stats *batch.Stats
+	// Pool, when non-nil, is a shared long-lived executor (workers +
+	// modeled boards + admission control) the driver's batches run on —
+	// the service wiring that lets one flexbench invocation share workers
+	// and device history across every driver. It overrides Workers and
+	// FPGAs. nil builds a throwaway pool per driver call, the historical
+	// behaviour.
+	Pool *batch.Pool
+	// Layouts, when non-nil, memoizes generated layouts by (design, scale,
+	// seed) across drivers and repeated runs, so shared designs are built
+	// once per process instead of once per driver. Safe because engines
+	// legalize clones; hit/miss accounting accumulates in the cache.
+	Layouts *cache.LRU
 }
 
 func (o Options) withDefaults() Options {
@@ -112,7 +125,7 @@ const table1Engines = 4 // MGL, DATE'22, ISPD'25, FLEX
 func Table1(opt Options) ([]Table1Row, error) {
 	opt = opt.withDefaults()
 	suite := opt.suite()
-	layouts := lazyLayouts(suite, opt.Scale)
+	layouts := lazyLayouts(opt, suite, opt.Scale)
 	jobs := make([]batch.Job[EngineCell], 0, len(suite)*table1Engines)
 	for _, layout := range layouts {
 		for e := 0; e < table1Engines; e++ {

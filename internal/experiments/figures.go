@@ -35,7 +35,7 @@ func Fig2a(opt Options) ([]ThreadPoint, error) {
 	if len(suite) == 0 {
 		return nil, fmt.Errorf("fig2a: empty suite")
 	}
-	l, err := suite[0].Generate(opt.Scale)
+	l, err := opt.generate(suite[0], opt.Scale)
 	if err != nil {
 		return nil, err
 	}
@@ -300,7 +300,7 @@ type AssignPoint struct {
 func Fig10(opt Options) ([]AssignPoint, error) {
 	opt = opt.withDefaults()
 	suite := opt.suite()
-	layouts := lazyLayouts(suite, opt.Scale)
+	layouts := lazyLayouts(opt, suite, opt.Scale)
 	assignments := []core.TaskAssignment{core.FOPOnFPGA, core.FOPAndInsertOnFPGA}
 	jobs := make([]batch.Job[float64], 0, len(suite)*len(assignments))
 	for _, layout := range layouts {

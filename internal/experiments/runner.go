@@ -10,23 +10,30 @@ import (
 	"github.com/flex-eda/flex/internal/model"
 )
 
-// run fans jobs across the driver's worker pool (Options.Workers; <= 0 =
-// GOMAXPROCS) and collapses the results in submission order, failing on the
-// first job error. Every driver routes its (design × engine × config)
-// fan-out through here instead of a hand-rolled serial loop; because the
-// engines are deterministic and jobs are independent, any worker count
-// produces identical tables. Drivers want all-or-nothing results, so the
-// batch fails fast: one job error stops scheduling instead of burning the
-// rest of the suite.
+// run fans jobs across the driver's worker pool and collapses the results
+// in submission order, failing on the first job error. Every driver routes
+// its (design × engine × config) fan-out through here instead of a
+// hand-rolled serial loop; because the engines are deterministic and jobs
+// are independent, any worker count produces identical tables. Drivers want
+// all-or-nothing results, so the batch fails fast: one job error stops
+// scheduling instead of burning the rest of the suite.
 //
-// Each batch gets a fresh modeled FPGA pool; jobs that run the FLEX engine
-// declare their device phase with batch.AcquireDevice and contend on it,
-// while CPU-only jobs overlap freely. Pool statistics (device wait vs CPU
-// overlap) accumulate into Options.Stats when set — never into the
-// returned values, which stay byte-identical across workers × FPGAs.
+// The executor is Options.Pool when the caller wired a shared service-style
+// pool (one flexbench run = one pool, so device history and admission span
+// every driver), else a throwaway pool sized by Options.Workers/FPGAs.
+// Jobs that run the FLEX engine declare their device phase with
+// batch.AcquireDevice and contend on the pool's boards, while CPU-only jobs
+// overlap freely. Per-batch pool statistics (device wait vs CPU overlap —
+// deltas even on a shared pool) accumulate into Options.Stats when set —
+// never into the returned values, which stay byte-identical across
+// workers × FPGAs × cache configurations.
 func run[T any](opt Options, jobs []batch.Job[T]) ([]T, error) {
-	results, st, err := batch.Run(context.Background(), jobs,
-		batch.Options{Workers: opt.Workers, FailFast: true, Device: batch.DevicePool(opt.FPGAs)})
+	pool := opt.Pool
+	if pool == nil {
+		pool = batch.NewPool(batch.PoolConfig{Workers: opt.Workers, FPGAs: opt.FPGAs})
+		defer pool.Close()
+	}
+	results, st, err := batch.RunOn(context.Background(), pool, jobs, true, nil)
 	if opt.Stats != nil {
 		opt.Stats.Add(st)
 	}
@@ -34,6 +41,17 @@ func run[T any](opt Options, jobs []batch.Job[T]) ([]T, error) {
 		return nil, err
 	}
 	return batch.Values(results)
+}
+
+// generate builds spec at scale, through the shared layout cache when the
+// caller wired one (Options.Layouts). Cached layouts are shared across
+// drivers — engines legalize clones, so the pointer is safe to share.
+func (o Options) generate(spec gen.Spec, scale float64) (*model.Layout, error) {
+	l, err := gen.Cached(o.Layouts, spec, scale)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", spec.Name, err)
+	}
+	return l, nil
 }
 
 // runOnDevice runs f while holding one modeled accelerator board — the
@@ -52,32 +70,30 @@ func runOnDevice[T any](ctx context.Context, f func() (T, error)) (T, error) {
 
 // lazyLayouts returns one memoized generator per spec for drivers whose
 // jobs share a design across several engine/config variants: each design is
-// generated at most once, on first use, by whichever job reaches it first
-// (engines legalize clones, so sharing the pointer is safe). Compared to
-// generating up front this keeps only touched designs resident and lets a
-// fail-fast batch stop before generating the rest of the suite; compared to
-// generating per job it never duplicates work.
-func lazyLayouts(specs []gen.Spec, scale float64) []func() (*model.Layout, error) {
+// generated at most once per call, on first use, by whichever job reaches
+// it first — and at most once per process when a shared layout cache is
+// wired (engines legalize clones, so sharing the pointer is safe). Compared
+// to generating up front this keeps only touched designs resident and lets
+// a fail-fast batch stop before generating the rest of the suite; compared
+// to generating per job it never duplicates work.
+func lazyLayouts(opt Options, specs []gen.Spec, scale float64) []func() (*model.Layout, error) {
 	out := make([]func() (*model.Layout, error), len(specs))
 	for i, spec := range specs {
 		out[i] = sync.OnceValues(func() (*model.Layout, error) {
-			l, err := spec.Generate(scale)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", spec.Name, err)
-			}
-			return l, nil
+			return opt.generate(spec, scale)
 		})
 	}
 	return out
 }
 
-// perSpec builds one job per design spec — generate at scale on the worker,
-// then measure — and runs them through the pool.
+// perSpec builds one job per design spec — generate at scale on the worker
+// (through the shared cache when wired), then measure — and runs them
+// through the pool.
 func perSpec[T any](opt Options, specs []gen.Spec, scale float64, measure func(spec gen.Spec, l *model.Layout) (T, error)) ([]T, error) {
 	jobs := make([]batch.Job[T], len(specs))
 	for i, spec := range specs {
 		jobs[i] = func(context.Context) (T, error) {
-			l, err := spec.Generate(scale)
+			l, err := opt.generate(spec, scale)
 			if err != nil {
 				var zero T
 				return zero, err

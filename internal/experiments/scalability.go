@@ -45,7 +45,7 @@ func Scalability(opt Options, maxPE int) ([]ScalabilityPoint, error) {
 	if len(suite) == 0 {
 		return nil, fmt.Errorf("scalability: empty suite")
 	}
-	l, err := suite[0].Generate(opt.Scale)
+	l, err := opt.generate(suite[0], opt.Scale)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +125,7 @@ var orderingWindows = []int{-1, 8}
 func OrderingAblation(opt Options) ([]OrderingPoint, error) {
 	opt = opt.withDefaults()
 	suite := opt.suite()
-	layouts := lazyLayouts(suite, opt.Scale)
+	layouts := lazyLayouts(opt, suite, opt.Scale)
 	jobs := make([]batch.Job[float64], 0, len(suite)*len(orderingWindows))
 	for _, layout := range layouts {
 		for _, w := range orderingWindows {

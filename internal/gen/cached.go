@@ -1,0 +1,28 @@
+package gen
+
+import (
+	"github.com/flex-eda/flex/internal/cache"
+	"github.com/flex-eda/flex/internal/model"
+)
+
+// Cached builds the layout for spec at scale through c, memoizing by
+// CacheKey with ApproxBytes residency accounting — the one memoization
+// recipe shared by flex.Service and the experiment drivers, so key, sizing
+// and single-flight semantics cannot drift between them. A nil cache
+// generates directly.
+func Cached(c *cache.LRU, spec Spec, scale float64) (*model.Layout, error) {
+	if c == nil {
+		return spec.Generate(scale)
+	}
+	v, err := c.Do(spec.CacheKey(scale), func() (any, int64, error) {
+		l, err := spec.Generate(scale)
+		if err != nil {
+			return nil, 0, err
+		}
+		return l, l.ApproxBytes(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*model.Layout), nil
+}

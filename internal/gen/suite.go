@@ -67,6 +67,13 @@ func Superblue() []Spec {
 	}
 }
 
+// CacheKey identifies the layout Generate(scale) would produce. Generation
+// is a pure function of (name, seed, scale), so the key is exactly that
+// triple — the memoization contract of the layout cache.
+func (s Spec) CacheKey(scale float64) string {
+	return fmt.Sprintf("%s|%g|%d", s.Name, scale, s.Seed)
+}
+
 // ByName looks a spec up across all suites.
 func ByName(name string) (Spec, bool) {
 	for _, s := range ICCAD2017() {

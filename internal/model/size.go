@@ -1,0 +1,19 @@
+package model
+
+import "unsafe"
+
+// ApproxBytes estimates the layout's resident memory footprint — struct
+// headers, the cell slice, and per-cell name strings — for cache byte
+// accounting. It is an estimate (allocator overhead and string interning
+// are invisible), but it scales with what actually dominates a layout's
+// footprint: the cell count.
+func (l *Layout) ApproxBytes() int64 {
+	if l == nil {
+		return 0
+	}
+	b := int64(unsafe.Sizeof(*l)) + int64(len(l.Name))
+	for i := range l.Cells {
+		b += int64(unsafe.Sizeof(l.Cells[i])) + int64(len(l.Cells[i].Name))
+	}
+	return b
+}

@@ -1,0 +1,299 @@
+package flex
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/flex-eda/flex/internal/batch"
+	"github.com/flex-eda/flex/internal/cache"
+	"github.com/flex-eda/flex/internal/gen"
+)
+
+// ErrOverloaded rejects a submission that does not fit the service's queue
+// depth (WithQueueDepth): admitted jobs — queued plus running, across every
+// concurrent submission — would exceed the bound. The batch is rejected
+// atomically before any job starts; callers shed load or retry later.
+var ErrOverloaded = errors.New("flex: service overloaded (queue full)")
+
+// ErrServiceClosed rejects submissions after Service.Close.
+var ErrServiceClosed = errors.New("flex: service closed")
+
+// serviceConfig collects the functional options.
+type serviceConfig struct {
+	workers    int
+	fpgas      int
+	cacheBytes int64
+	queueDepth int
+}
+
+// ServiceOption configures NewService.
+type ServiceOption func(*serviceConfig)
+
+// WithWorkers sets the persistent worker-goroutine count bounding
+// concurrently running jobs across every submission (<= 0 = GOMAXPROCS,
+// the default).
+func WithWorkers(n int) ServiceOption { return func(c *serviceConfig) { c.workers = n } }
+
+// WithFPGAs sets the modeled accelerator board count every submission
+// shares (0 = 1, the paper's single-card host; negative = unlimited, no
+// device contention). Jobs whose engine needs the FPGA (BatchJob.NeedsFPGA)
+// hold one board for their device phase; capacity never changes results,
+// only wall-clock and wait statistics.
+func WithFPGAs(k int) ServiceOption { return func(c *serviceConfig) { c.fpgas = k } }
+
+// WithCacheBytes bounds the layout cache: generated benchmarks are memoized
+// by (design, scale, seed) up to b resident bytes, so repeated jobs skip
+// regeneration (cached layouts are shared safely — engines legalize
+// clones). b <= 0 disables caching, the default.
+func WithCacheBytes(b int64) ServiceOption { return func(c *serviceConfig) { c.cacheBytes = b } }
+
+// WithQueueDepth bounds admitted jobs (queued + running, summed over every
+// in-flight submission); a Submit or Stream that would exceed it fails with
+// ErrOverloaded. 0 (the default) = unbounded. A single batch larger than
+// the whole depth can never be admitted.
+func WithQueueDepth(d int) ServiceOption { return func(c *serviceConfig) { c.queueDepth = d } }
+
+// Service is a long-lived legalization service: it owns the worker pool,
+// the modeled FPGA board pool, and the layout cache that a sequence of
+// batch submissions — a CLI run, an HTTP server's traffic — share. Where
+// LegalizeBatch pays pool construction and cold generation per call, a
+// Service amortizes both and adds admission control, making it the unit of
+// deployment for serving legalization traffic.
+//
+//	svc := flex.NewService(flex.WithWorkers(8), flex.WithFPGAs(1),
+//		flex.WithCacheBytes(256<<20), flex.WithQueueDepth(1024))
+//	defer svc.Close()
+//	sum, err := svc.Submit(ctx, jobs, flex.SubmitOptions{})
+//
+// All methods are safe for concurrent use. Determinism is preserved: for
+// the same jobs, results are byte-identical to LegalizeBatch for every
+// workers × fpgas × cache configuration.
+type Service struct {
+	pool    *batch.Pool
+	layouts *cache.LRU // nil = caching disabled
+	depth   int
+
+	mu         sync.Mutex
+	batches    int64
+	jobs       int64
+	errs       int64
+	skipped    int64
+	overloaded int64
+}
+
+// NewService builds and starts a Service. Callers must Close it to release
+// the worker pool.
+func NewService(opts ...ServiceOption) *Service {
+	var cfg serviceConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Service{
+		pool:  batch.NewPool(batch.PoolConfig{Workers: cfg.workers, FPGAs: cfg.fpgas, QueueDepth: cfg.queueDepth}),
+		depth: cfg.queueDepth,
+	}
+	if cfg.cacheBytes > 0 {
+		s.layouts = cache.New(cfg.cacheBytes)
+	}
+	return s
+}
+
+// SubmitOptions tunes one submission; the zero value is the default.
+type SubmitOptions struct {
+	// FailFast cancels the submission's remaining jobs after its first
+	// error instead of capturing every job's error independently. Other
+	// concurrent submissions are unaffected.
+	FailFast bool
+	// OnResult, when set, observes every job's BatchResult in completion
+	// order while the batch is still running. It is called synchronously
+	// on the result path; keep it fast.
+	OnResult func(BatchResult)
+}
+
+// Submit runs one batch on the service and blocks until every job is
+// accounted for, with LegalizeBatch's contract: results in submission
+// order, per-job errors captured per result, the returned error non-nil
+// only when the batch was rejected at admission (ErrOverloaded,
+// ErrServiceClosed — then the summary is nil) or stopped early (ctx
+// canceled, or FailFast tripped).
+func (s *Service) Submit(ctx context.Context, jobs []BatchJob, opt SubmitOptions) (*BatchSummary, error) {
+	var onResult func(batch.Result[*Outcome])
+	if opt.OnResult != nil {
+		onResult = func(r batch.Result[*Outcome]) { opt.OnResult(jobs[r.Index].toResult(r)) }
+	}
+	results, st, err := batch.RunOn(ctx, s.pool, s.batchJobs(jobs), opt.FailFast, onResult)
+	if rejected := s.admissionError(err); rejected != nil {
+		return nil, rejected
+	}
+	sum := &BatchSummary{
+		Results: make([]BatchResult, len(results)),
+		Errors:  st.Errors,
+		Skipped: st.Skipped,
+		Workers: st.Workers,
+		Wall:    st.Wall, WorkWall: st.WorkWall,
+		FPGAs:      st.FPGAs,
+		DeviceWait: st.DeviceWait, DeviceHold: st.DeviceHold,
+	}
+	for i, r := range results {
+		sum.Results[i] = jobs[i].toResult(r)
+		if r.Err == nil && r.Value != nil {
+			sum.ModeledSeconds += r.Value.ModeledSeconds
+		}
+	}
+	s.account(len(jobs), st.Errors, st.Skipped)
+	return sum, err
+}
+
+// Stream runs one batch on the service and returns immediately with a
+// channel yielding every job's BatchResult in completion order (use
+// BatchResult.Index to reorder); it is closed after exactly len(jobs)
+// sends. Admission failures (ErrOverloaded, ErrServiceClosed) are returned
+// synchronously with a nil channel. Callers must drain the channel — cancel
+// ctx to stop early; an abandoned channel pins the batch's queue slots and
+// blocks Close. SubmitOptions.OnResult, when also set, observes each result
+// just before it is sent.
+func (s *Service) Stream(ctx context.Context, jobs []BatchJob, opt SubmitOptions) (<-chan BatchResult, error) {
+	return s.stream(ctx, jobs, opt, nil)
+}
+
+// stream is Stream with an after-drain hook, so the LegalizeBatchStream
+// wrapper can tear its throwaway service down once the channel closes.
+func (s *Service) stream(ctx context.Context, jobs []BatchJob, opt SubmitOptions, onDrained func()) (<-chan BatchResult, error) {
+	in, err := batch.StreamOn(ctx, s.pool, s.batchJobs(jobs), opt.FailFast)
+	if rejected := s.admissionError(err); rejected != nil {
+		return nil, rejected
+	}
+	out := make(chan BatchResult)
+	go func() {
+		if onDrained != nil {
+			defer onDrained()
+		}
+		defer close(out)
+		var errs, skipped int
+		for r := range in {
+			br := jobs[r.Index].toResult(r)
+			switch {
+			case IsBatchSkipped(br.Err):
+				skipped++
+			case br.Err != nil:
+				errs++
+			}
+			if opt.OnResult != nil {
+				opt.OnResult(br)
+			}
+			out <- br
+		}
+		s.account(len(jobs), errs, skipped)
+	}()
+	return out, nil
+}
+
+// admissionError maps the pool's admission rejections onto the public
+// sentinels and counts them; any other error passes through as nil (it is
+// a batch-level error the caller still gets alongside results).
+func (s *Service) admissionError(err error) error {
+	switch {
+	case errors.Is(err, batch.ErrOverloaded):
+		s.mu.Lock()
+		s.overloaded++
+		s.mu.Unlock()
+		return ErrOverloaded
+	case errors.Is(err, batch.ErrPoolClosed):
+		return ErrServiceClosed
+	}
+	return nil
+}
+
+// account folds one finished batch into the cumulative counters.
+func (s *Service) account(jobs, errs, skipped int) {
+	s.mu.Lock()
+	s.batches++
+	s.jobs += int64(jobs)
+	s.errs += int64(errs)
+	s.skipped += int64(skipped)
+	s.mu.Unlock()
+}
+
+// Close stops admitting work, waits for in-flight submissions to drain,
+// and releases the workers. It is idempotent; submissions after Close fail
+// with ErrServiceClosed.
+func (s *Service) Close() error {
+	s.pool.Close()
+	return nil
+}
+
+// ServiceStats is a cumulative snapshot of a Service's life so far.
+type ServiceStats struct {
+	// Batches counts finished submissions; Jobs the results they
+	// delivered; Errors jobs that ran and failed; Skipped jobs canceled
+	// before starting; Overloaded submissions rejected at admission.
+	Batches, Jobs, Errors, Skipped, Overloaded int64
+	// Workers is the persistent pool size; FPGAs the modeled board count
+	// (0 = unlimited); QueueDepth the admission bound (0 = unbounded).
+	Workers, FPGAs, QueueDepth int
+	// Cache accounting (all zero when caching is disabled): hits count
+	// lookups that skipped regeneration, including waiters that joined an
+	// in-flight generation.
+	CacheHits, CacheMisses, CacheEvictions int64
+	CacheEntries                           int
+	CacheBytes, CacheMaxBytes              int64
+	// Device contention, cumulative across every submission: total queue
+	// time and board occupancy, acquisitions, and how many had to wait.
+	DeviceWait, DeviceHold          time.Duration
+	DeviceAcquires, DeviceContended int
+}
+
+// CacheHitRate returns hits / (hits + misses), or 0 before any lookup.
+func (st ServiceStats) CacheHitRate() float64 {
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		return float64(st.CacheHits) / float64(total)
+	}
+	return 0
+}
+
+// Stats snapshots the service's cumulative counters: jobs served, cache
+// effectiveness, device contention.
+func (s *Service) Stats() ServiceStats {
+	s.mu.Lock()
+	st := ServiceStats{
+		Batches: s.batches, Jobs: s.jobs, Errors: s.errs,
+		Skipped: s.skipped, Overloaded: s.overloaded,
+		Workers: s.pool.Workers(), QueueDepth: s.depth,
+	}
+	s.mu.Unlock()
+	if s.layouts != nil {
+		cs := s.layouts.Stats()
+		st.CacheHits, st.CacheMisses, st.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
+		st.CacheEntries, st.CacheBytes, st.CacheMaxBytes = cs.Entries, cs.Bytes, cs.MaxBytes
+	}
+	if d := s.pool.Device(); d != nil {
+		ds := d.Stats()
+		st.FPGAs = ds.Capacity
+		st.DeviceWait, st.DeviceHold = ds.Wait, ds.Hold
+		st.DeviceAcquires, st.DeviceContended = ds.Acquires, ds.Contended
+	}
+	return st
+}
+
+// generate resolves a job's (design, scale) reference, through the layout
+// cache when one is configured. Cached layouts are shared across jobs and
+// submissions — engines legalize clones, so sharing the pointer is safe.
+func (s *Service) generate(design string, scale float64) (*Layout, error) {
+	spec, err := lookupSpec(design, scale)
+	if err != nil {
+		return nil, err
+	}
+	return gen.Cached(s.layouts, spec, scale)
+}
+
+// batchJobs builds the pool closures for one submission, wiring the
+// service's layout source into every (design, scale) job.
+func (s *Service) batchJobs(jobs []BatchJob) []batch.Job[*Outcome] {
+	bjobs := make([]batch.Job[*Outcome], len(jobs))
+	for i, j := range jobs {
+		bjobs[i] = j.job(s.generate)
+	}
+	return bjobs
+}

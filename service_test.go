@@ -1,0 +1,198 @@
+package flex_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	flex "github.com/flex-eda/flex"
+)
+
+// serviceJobs is a (design × engine) grid with repeated designs, so a
+// caching service gets hits within one submission and across submissions.
+func serviceJobs() []flex.BatchJob {
+	var jobs []flex.BatchJob
+	for _, design := range []string{"fft_a_md2", "pci_b_a_md2"} {
+		for _, engine := range []flex.Engine{flex.EngineFLEX, flex.EngineMGL} {
+			jobs = append(jobs, flex.BatchJob{
+				Design: design, Scale: 0.008, Engine: engine,
+				Tag: design + "/" + engine.String(),
+			})
+		}
+	}
+	return jobs
+}
+
+// TestServiceByteIdenticalAcrossCacheWorkersFPGAs is the acceptance gate of
+// the Service redesign: for every workers × fpgas × cache combination —
+// including the LegalizeBatch wrapper itself — the serialized results must
+// be byte-identical. The cache may only skip regeneration, never change
+// what is generated.
+func TestServiceByteIdenticalAcrossCacheWorkersFPGAs(t *testing.T) {
+	jobs := serviceJobs()
+	baseline, err := flex.LegalizeBatch(context.Background(), jobs, flex.BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := layoutBytes(t, baseline)
+	for _, workers := range []int{1, 4} {
+		for _, fpgas := range []int{1, 2} {
+			for _, cacheBytes := range []int64{0, 64 << 20} {
+				svc := flex.NewService(flex.WithWorkers(workers), flex.WithFPGAs(fpgas),
+					flex.WithCacheBytes(cacheBytes))
+				// Submit twice: the second pass exercises warm-cache reuse.
+				for pass := 0; pass < 2; pass++ {
+					sum, err := svc.Submit(context.Background(), jobs, flex.SubmitOptions{})
+					if err != nil {
+						t.Fatalf("workers=%d fpgas=%d cache=%d pass=%d: %v",
+							workers, fpgas, cacheBytes, pass, err)
+					}
+					if got := layoutBytes(t, sum); !bytes.Equal(got, want) {
+						t.Fatalf("workers=%d fpgas=%d cache=%d pass=%d: results differ from LegalizeBatch baseline",
+							workers, fpgas, cacheBytes, pass)
+					}
+				}
+				st := svc.Stats()
+				if st.Batches != 2 || st.Jobs != int64(2*len(jobs)) {
+					t.Fatalf("stats %+v, want 2 batches / %d jobs", st, 2*len(jobs))
+				}
+				if cacheBytes > 0 {
+					// 2 designs generated once each; every other lookup hit.
+					if st.CacheMisses != 2 {
+						t.Fatalf("cache misses = %d, want 2 (one per design)", st.CacheMisses)
+					}
+					if want := int64(2*len(jobs) - 2); st.CacheHits != want {
+						t.Fatalf("cache hits = %d, want %d", st.CacheHits, want)
+					}
+					if st.CacheEntries != 2 || st.CacheBytes <= 0 {
+						t.Fatalf("cache residency %+v", st)
+					}
+				} else if st.CacheHits+st.CacheMisses != 0 {
+					t.Fatalf("disabled cache recorded traffic: %+v", st)
+				}
+				svc.Close()
+			}
+		}
+	}
+}
+
+func TestServiceQueueDepthOverload(t *testing.T) {
+	svc := flex.NewService(flex.WithWorkers(1), flex.WithQueueDepth(1))
+	defer svc.Close()
+	jobs := serviceJobs() // 4 jobs > depth 1: can never be admitted
+	if _, err := svc.Submit(context.Background(), jobs, flex.SubmitOptions{}); !errors.Is(err, flex.ErrOverloaded) {
+		t.Fatalf("Submit err = %v, want ErrOverloaded", err)
+	}
+	if _, err := svc.Stream(context.Background(), jobs, flex.SubmitOptions{}); !errors.Is(err, flex.ErrOverloaded) {
+		t.Fatalf("Stream err = %v, want ErrOverloaded", err)
+	}
+	// A batch that fits still runs.
+	sum, err := svc.Submit(context.Background(), jobs[:1], flex.SubmitOptions{})
+	if err != nil || sum.Errors != 0 {
+		t.Fatalf("fitting batch: sum=%+v err=%v", sum, err)
+	}
+	st := svc.Stats()
+	if st.Overloaded != 2 {
+		t.Fatalf("overloaded = %d, want 2", st.Overloaded)
+	}
+	if st.Batches != 1 || st.Jobs != 1 {
+		t.Fatalf("stats %+v, want 1 batch / 1 job (rejected batches don't count)", st)
+	}
+}
+
+func TestServiceClosedRejectsSubmissions(t *testing.T) {
+	svc := flex.NewService(flex.WithWorkers(1))
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(context.Background(), serviceJobs()[:1], flex.SubmitOptions{}); !errors.Is(err, flex.ErrServiceClosed) {
+		t.Fatalf("Submit after Close: err = %v, want ErrServiceClosed", err)
+	}
+	if _, err := svc.Stream(context.Background(), serviceJobs()[:1], flex.SubmitOptions{}); !errors.Is(err, flex.ErrServiceClosed) {
+		t.Fatalf("Stream after Close: err = %v, want ErrServiceClosed", err)
+	}
+	if err := svc.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestServiceStreamDeliversAllResults(t *testing.T) {
+	svc := flex.NewService(flex.WithWorkers(3), flex.WithCacheBytes(32<<20))
+	defer svc.Close()
+	jobs := serviceJobs()
+	var callbacks int
+	ch, err := svc.Stream(context.Background(), jobs, flex.SubmitOptions{
+		OnResult: func(flex.BatchResult) { callbacks++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for r := range ch {
+		if seen[r.Index] {
+			t.Fatalf("job %d streamed twice", r.Index)
+		}
+		seen[r.Index] = true
+		if r.Err != nil {
+			t.Fatalf("job %s: %v", r.Tag, r.Err)
+		}
+		if !r.Outcome.Legal {
+			t.Fatalf("job %s: illegal outcome", r.Tag)
+		}
+	}
+	if len(seen) != len(jobs) || callbacks != len(jobs) {
+		t.Fatalf("streamed %d results, %d callbacks, want %d", len(seen), callbacks, len(jobs))
+	}
+	if st := svc.Stats(); st.Jobs != int64(len(jobs)) || st.Batches != 1 {
+		t.Fatalf("stats after stream: %+v", st)
+	}
+}
+
+func TestServiceDeviceStatsAccumulate(t *testing.T) {
+	layout, err := flex.GenerateCustom(400, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := flex.NewService(flex.WithWorkers(2), flex.WithFPGAs(1))
+	defer svc.Close()
+	jobs := []flex.BatchJob{
+		{Layout: layout, Engine: flex.EngineFLEX},
+		{Layout: layout, Engine: flex.EngineFLEX},
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := svc.Submit(context.Background(), jobs, flex.SubmitOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	if st.FPGAs != 1 {
+		t.Fatalf("FPGAs = %d, want 1", st.FPGAs)
+	}
+	if st.DeviceAcquires != 4 {
+		t.Fatalf("device acquires = %d, want 4 across both submissions", st.DeviceAcquires)
+	}
+	if st.DeviceHold <= 0 {
+		t.Fatal("no cumulative board occupancy recorded")
+	}
+}
+
+// TestServiceCacheHitRate pins the hit-rate arithmetic on deterministic
+// sequential submissions.
+func TestServiceCacheHitRate(t *testing.T) {
+	svc := flex.NewService(flex.WithWorkers(1), flex.WithCacheBytes(32<<20))
+	defer svc.Close()
+	job := []flex.BatchJob{{Design: "fft_a_md2", Scale: 0.008, Engine: flex.EngineMGL}}
+	for i := 0; i < 4; i++ {
+		if _, err := svc.Submit(context.Background(), job, flex.SubmitOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	if st.CacheMisses != 1 || st.CacheHits != 3 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1", st.CacheHits, st.CacheMisses)
+	}
+	if got := st.CacheHitRate(); got != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", got)
+	}
+}
