@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check lint test race bench ci
+.PHONY: all build vet fmt-check doccheck lint test race bench ci
 
 all: build
 
@@ -20,7 +20,10 @@ fmt-check:
 		exit 1; \
 	fi
 
-lint: vet fmt-check
+doccheck:
+	$(GO) run ./cmd/doccheck
+
+lint: vet fmt-check doccheck
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,194 @@
+// Command doccheck is the documentation gate CI runs next to go vet and
+// gofmt: it fails when the public API or a package is missing godoc.
+//
+// Usage:
+//
+//	doccheck [-root .]
+//
+// Two rules, both over non-test files:
+//
+//  1. Every package in the module (the public flex root, internal/*, cmd/*,
+//     examples/*) must carry a package doc comment ("// Package ..." or a
+//     command comment on package main), so `go doc` output is
+//     self-explanatory.
+//  2. Every exported top-level identifier in the public flex package — types,
+//     functions, methods, and each exported const/var (its declaration group
+//     counts) — must have a doc comment.
+//
+// Violations print one "path: identifier" line each and the exit status is
+// non-zero, so the CI log names exactly what to document.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to check")
+	flag.Parse()
+
+	var problems []string
+	pkgs, err := parseAll(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	for _, p := range pkgs {
+		if !p.hasPackageDoc {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package doc comment", p.dir, p.name))
+		}
+		if p.dir == "." { // the public flex package
+			problems = append(problems, checkExported(p)...)
+		}
+	}
+	sort.Strings(problems)
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented identifiers/packages\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: ok")
+}
+
+// pkg is one parsed directory.
+type pkg struct {
+	dir           string
+	name          string
+	files         map[string]*ast.File // path -> file
+	hasPackageDoc bool
+}
+
+// parseAll walks the module and parses every non-test Go file, grouped by
+// directory.
+func parseAll(root string) ([]*pkg, error) {
+	byDir := map[string]*pkg{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "testdata" || (name != "." && strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		dir, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		p := byDir[dir]
+		if p == nil {
+			p = &pkg{dir: dir, name: f.Name.Name, files: map[string]*ast.File{}}
+			byDir[dir] = p
+		}
+		p.files[path] = f
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			p.hasPackageDoc = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*pkg, 0, len(byDir))
+	for _, p := range byDir {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].dir < out[j].dir })
+	return out, nil
+}
+
+// checkExported reports every exported top-level identifier of the package
+// that lacks a doc comment.
+func checkExported(p *pkg) []string {
+	var problems []string
+	report := func(path, what string) {
+		problems = append(problems, fmt.Sprintf("%s: %s is undocumented", path, what))
+	}
+	for path, f := range p.files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if recv := receiverType(d); recv != "" && !ast.IsExported(recv) {
+					continue // method on an unexported type
+				}
+				if d.Doc == nil {
+					report(path, funcName(d))
+				}
+			case *ast.GenDecl:
+				groupDoc := d.Doc != nil
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && !groupDoc && s.Doc == nil {
+							report(path, "type "+s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						// A doc on the const/var group documents its members;
+						// otherwise each exported spec needs its own.
+						if groupDoc || s.Doc != nil {
+							continue
+						}
+						for _, n := range s.Names {
+							if n.IsExported() {
+								report(path, "const/var "+n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// receiverType names a method's receiver type ("" for plain functions).
+func receiverType(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// funcName renders "func Name" or "method (T) Name" for a report line.
+func funcName(d *ast.FuncDecl) string {
+	if r := receiverType(d); r != "" {
+		return fmt.Sprintf("method (%s) %s", r, d.Name.Name)
+	}
+	return "func " + d.Name.Name
+}

@@ -3,9 +3,20 @@
 //
 // Usage:
 //
-//	flexbench [-exp all|table1|table2|fig2a|fig2b|fig2c|fig2g|fig6g|fig8|fig9|fig10]
+//	flexbench [-exp all|table1|table2|fig2a|fig2b|fig2c|fig2g|fig6g|fig8|fig9|fig10
+//	           |scalability|ordering|sharded]
 //	          [-scale 0.02] [-designs name1,name2] [-threads 8] [-measure-original]
 //	          [-workers N] [-fpgas N] [-cache-mb M] [-repeat N]
+//	          [-shards K] [-shard-halo R]
+//
+// -exp sharded runs the row-band sharding extension: each selected design
+// is split into -shards horizontal bands (with a -shard-halo seam window),
+// every band legalized by the FLEX engine as an independent pool job, and
+// the bands stitched back into one whole-die result. Designs run one after
+// another so only one design's bands are ever resident — the path that
+// fits paper-scale superblue runs (reach them with
+// -designs superblue19 -scale 0.5 or larger). Per-band wall and device
+// wait land on stderr; the table stays deterministic.
 //
 // -workers bounds how many (design × engine) jobs run concurrently (0 =
 // GOMAXPROCS); -fpgas sets how many physical accelerator boards the host
@@ -29,7 +40,7 @@
 //
 // Absolute numbers depend on the scale factor and the platform models; the
 // shapes (who wins, by what factor, where the crossovers are) are the
-// reproduction target. See EXPERIMENTS.md.
+// reproduction target. See docs/ARCHITECTURE.md for the system pipeline.
 package main
 
 import (
@@ -68,7 +79,7 @@ func reportStats(name string, st batch.Stats) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig2a, fig2b, fig2c, fig2g, fig6g, fig8, fig9, fig10, scalability, ordering)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig2a, fig2b, fig2c, fig2g, fig6g, fig8, fig9, fig10, scalability, ordering, sharded)")
 	scale := flag.Float64("scale", 0.02, "benchmark scale factor (1.0 = paper-size designs)")
 	designs := flag.String("designs", "", "comma-separated design filter (default: all 16)")
 	threads := flag.Int("threads", 8, "CPU baseline thread count")
@@ -77,6 +88,8 @@ func main() {
 	fpgas := flag.Int("fpgas", 1, "modeled FPGA boards shared by concurrent FLEX jobs (negative = unlimited)")
 	cacheMB := flag.Int("cache-mb", 0, "layout cache budget in MiB, shared by every driver and repetition (0 = off)")
 	repeat := flag.Int("repeat", 1, "run the selected experiments N times on the same warm service")
+	shards := flag.Int("shards", 4, "row bands per design for -exp sharded (1 = single band through the shard machinery)")
+	shardHalo := flag.Int("shard-halo", 2, "seam-crossing reassignment window in rows for -exp sharded")
 	flag.Parse()
 
 	// One shared service per invocation: every driver batch runs on this
@@ -205,7 +218,7 @@ func main() {
 			experiments.RenderFig10(pts).Render(os.Stdout, 40)
 			return nil
 		})
-		// Extension experiments (not paper figures; see EXPERIMENTS.md).
+		// Extension experiments (not paper figures).
 		if *exp == "scalability" {
 			ran = true
 			fmt.Println("==> scalability")
@@ -227,6 +240,29 @@ func main() {
 					return err
 				}
 				experiments.RenderOrdering(pts).Render(os.Stdout)
+				return nil
+			})
+		}
+		if *exp == "sharded" {
+			ran = true
+			fmt.Println("==> sharded")
+			runWithStats("sharded", func(o experiments.Options) error {
+				pts, err := experiments.Sharded(o, *shards, *shardHalo)
+				if err != nil {
+					return err
+				}
+				experiments.RenderSharded(pts).Render(os.Stdout)
+				// Per-shard scheduling observations are wall-clock facts,
+				// so they go to stderr and leave stdout byte-comparable
+				// across workers × fpgas.
+				for _, p := range pts {
+					for b := range p.BandWall {
+						fmt.Fprintf(os.Stderr, "%s band %d/%d: %d cells, wall %v, fpga wait %v\n",
+							p.Name, b+1, p.Bands, p.BandCells[b],
+							p.BandWall[b].Round(time.Millisecond),
+							p.BandWait[b].Round(time.Millisecond))
+					}
+				}
 				return nil
 			})
 		}
@@ -254,7 +290,7 @@ func main() {
 	if !ran {
 		// A typoed -exp must not succeed vacuously — it would turn the
 		// CI byte-compare gate into cmp of two empty files.
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, table1, table2, fig2a, fig2b, fig2c, fig2g, fig6g, fig8, fig9, fig10, scalability, ordering)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, table1, table2, fig2a, fig2b, fig2c, fig2g, fig6g, fig8, fig9, fig10, scalability, ordering, sharded)\n", *exp)
 		os.Exit(2)
 	}
 }

@@ -5,6 +5,7 @@
 //
 //	flexlg -engine flex|mgl|mgl-mt|gpu|analytical|all [-threads 8]
 //	       [-workers N] [-fpgas N] [-cache-mb M]
+//	       [-shards K] [-shard-halo R]
 //	       [-in design.flexpl | -design name [-scale 0.02]]
 //	       [-out legal.flexpl]
 //
@@ -20,6 +21,13 @@
 // sizes the service's layout cache: the first engine job generates the
 // benchmark, its siblings hit the cache, and the hit/miss counts land on
 // stderr next to the device-wait stats.
+//
+// -shards K splits every job's layout into K horizontal row bands that
+// legalize as independent jobs on the service and stitch back into one
+// result (K = 1 runs the full shard machinery and is byte-identical to the
+// unsharded path; 0, the default, skips it). Per-shard progress lands on
+// stderr as each band finishes; stdout reports only the stitched result,
+// so it stays comparable across shard counts' schedules.
 package main
 
 import (
@@ -77,6 +85,8 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent engine runs when several engines are selected (0 = GOMAXPROCS)")
 	fpgas := flag.Int("fpgas", 1, "modeled FPGA boards shared by concurrent FLEX jobs (negative = unlimited)")
 	cacheMB := flag.Int("cache-mb", 0, "service layout-cache budget in MiB for -design jobs (0 = off)")
+	shards := flag.Int("shards", 0, "row bands per job, legalized independently and stitched (0 = unsharded)")
+	shardHalo := flag.Int("shard-halo", 0, "seam-crossing reassignment window in rows (0 = library default)")
 	in := flag.String("in", "", "input flexpl file (default: generated demo)")
 	design := flag.String("design", "", "built-in benchmark name to generate instead of -in (see flexbench -designs)")
 	scale := flag.Float64("scale", 0.02, "generation scale for -design (1.0 = paper size)")
@@ -135,29 +145,45 @@ func main() {
 	jobs := make([]flex.BatchJob, len(engines))
 	for i, e := range engines {
 		jobs[i] = flex.BatchJob{
-			Layout:  layout,
-			Design:  designRef,
-			Scale:   *scale,
-			Engine:  e,
-			Options: flex.Options{Threads: *threads},
-			Tag:     names[i],
+			Layout:    layout,
+			Design:    designRef,
+			Scale:     *scale,
+			Engine:    e,
+			Options:   flex.Options{Threads: *threads},
+			Tag:       names[i],
+			Shards:    *shards,
+			ShardHalo: *shardHalo,
 		}
 	}
 	// Stream a progress line per job in completion order on stderr; the
 	// stdout report below stays in submission order.
+	status := func(r flex.BatchResult) string {
+		switch {
+		case flex.IsBatchSkipped(r.Err):
+			return "skipped"
+		case r.Err != nil:
+			return "error"
+		case !r.Outcome.Legal:
+			return "illegal"
+		}
+		return "ok"
+	}
 	done := 0
 	progress := func(r flex.BatchResult) {
 		done++
-		status := "ok"
-		switch {
-		case flex.IsBatchSkipped(r.Err):
-			status = "skipped"
-		case r.Err != nil:
-			status = "error"
-		case !r.Outcome.Legal:
-			status = "illegal"
+		fmt.Fprintf(os.Stderr, "[%d/%d] %-10s %-7s wall %v", done, len(jobs), r.Tag, status(r), r.Wall.Round(time.Millisecond))
+		if r.DeviceWait > 0 {
+			fmt.Fprintf(os.Stderr, " (fpga wait %v)", r.DeviceWait.Round(time.Microsecond))
 		}
-		fmt.Fprintf(os.Stderr, "[%d/%d] %-10s %-7s wall %v", done, len(jobs), r.Tag, status, r.Wall.Round(time.Millisecond))
+		if len(r.Shards) > 0 {
+			fmt.Fprintf(os.Stderr, " [%d shards]", len(r.Shards))
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	// Per-shard progress: one line per finished band, before its job's
+	// stitched line above.
+	shardProgress := func(job int, r flex.BatchResult) {
+		fmt.Fprintf(os.Stderr, "  %s shard %d: %-7s wall %v", jobs[job].Tag, r.Index, status(r), r.Wall.Round(time.Millisecond))
 		if r.DeviceWait > 0 {
 			fmt.Fprintf(os.Stderr, " (fpga wait %v)", r.DeviceWait.Round(time.Microsecond))
 		}
@@ -169,7 +195,7 @@ func main() {
 	svc := flex.NewService(flex.WithWorkers(*workers), flex.WithFPGAs(*fpgas),
 		flex.WithCacheBytes(int64(*cacheMB)<<20))
 	defer svc.Close()
-	sum, err := svc.Submit(context.Background(), jobs, flex.SubmitOptions{OnResult: progress})
+	sum, err := svc.Submit(context.Background(), jobs, flex.SubmitOptions{OnResult: progress, OnShard: shardProgress})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -7,7 +7,7 @@
 //
 //	flexserve [-addr :8080] [-workers N] [-fpgas N]
 //	          [-cache-mb 256] [-queue-depth 1024] [-max-body-mb 64]
-//	          [-max-scale 0.2]
+//	          [-max-scale 0.2] [-max-shards 64] [-auto-shard-mb 0]
 //
 // API:
 //
@@ -16,12 +16,20 @@
 //	                   {"layout":"<flexpl text>","engine":"mgl"}],
 //	           "failFast":false,"includeLayout":false}
 //	    — or a raw flexpl payload (non-JSON Content-Type) with
-//	    ?engine=flex&tag=mine.
+//	    ?engine=flex&tag=mine&shards=4&halo=2.
 //	    Design jobs must carry an explicit scale in (0, -max-scale].
+//	    A job may set "shards": K (bounded by -max-shards) to split its
+//	    layout into K row bands legalized as independent pool jobs and
+//	    stitched into one result line; -auto-shard-mb M shards any job
+//	    whose layout footprint exceeds M MiB even when it doesn't ask.
+//	    Each band occupies one admission slot.
 //	    Streams NDJSON: one result line per job in completion order, then
 //	    {"done":true,...}. 400 on malformed payloads, 413 on oversized
 //	    bodies, 429 when the queue is full (admission control), 503 while
-//	    shutting down.
+//	    shutting down. The 429 carries Retry-After derived from current
+//	    queue occupancy — ceil(queuedJobs/workers) seconds, clamped to
+//	    [1, 60]; /v1/stats exposes the same estimate as
+//	    retryAfterSeconds next to queuedJobs.
 //	GET /v1/stats    — cumulative service statistics (jobs, cache hit
 //	                   rate, device contention) as JSON.
 //	GET /healthz     — liveness probe.
@@ -51,6 +59,8 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 1024, "admission bound on queued+running jobs (0 = unbounded)")
 	maxBodyMB := flag.Int("max-body-mb", 64, "request body size limit in MiB")
 	maxScale := flag.Float64("max-scale", 0.2, "largest generation scale a design job may request")
+	maxShards := flag.Int("max-shards", 64, "largest per-job shard count a request may ask for")
+	autoShardMB := flag.Int("auto-shard-mb", 0, "auto-shard jobs whose layout footprint exceeds this many MiB (0 = off)")
 	flag.Parse()
 
 	svc := flex.NewService(
@@ -58,10 +68,11 @@ func main() {
 		flex.WithFPGAs(*fpgas),
 		flex.WithCacheBytes(int64(*cacheMB)<<20),
 		flex.WithQueueDepth(*queueDepth),
+		flex.WithAutoShardBytes(int64(*autoShardMB)<<20),
 	)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(svc, int64(*maxBodyMB)<<20, *maxScale),
+		Handler:           newServer(svc, int64(*maxBodyMB)<<20, *maxScale, *maxShards),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -21,6 +22,13 @@ type jobRequest struct {
 	Engine  string  `json:"engine,omitempty"` // default "flex"
 	Threads int     `json:"threads,omitempty"`
 	Tag     string  `json:"tag,omitempty"`
+	// Shards splits the job's layout into that many horizontal row bands
+	// legalized as independent pool jobs and stitched into one result
+	// (bounded by the server's -max-shards; each band occupies one queue
+	// slot). 0 = unsharded, negative rejected.
+	Shards int `json:"shards,omitempty"`
+	// Halo is the sharding seam window in rows (0 = library default).
+	Halo int `json:"halo,omitempty"`
 }
 
 // legalizeRequest is the POST /v1/legalize body.
@@ -50,7 +58,10 @@ type resultLine struct {
 	WallMs         float64 `json:"wallMs,omitempty"`
 	DeviceWaitMs   float64 `json:"deviceWaitMs,omitempty"`
 	DeviceHoldMs   float64 `json:"deviceHoldMs,omitempty"`
-	Layout         string  `json:"layout,omitempty"`
+	// Shards is the effective band count of a sharded job (the plan may
+	// clamp the requested count to what the die holds); 0 for unsharded.
+	Shards int    `json:"shards,omitempty"`
+	Layout string `json:"layout,omitempty"`
 }
 
 // summaryLine closes every NDJSON stream.
@@ -71,47 +82,64 @@ type errorBody struct {
 // statsResponse mirrors flex.ServiceStats with durations in milliseconds,
 // so curl consumers aren't handed nanosecond integers.
 type statsResponse struct {
-	Batches         int64   `json:"batches"`
-	Jobs            int64   `json:"jobs"`
-	Errors          int64   `json:"errors"`
-	Skipped         int64   `json:"skipped"`
-	Overloaded      int64   `json:"overloaded"`
-	Workers         int     `json:"workers"`
-	FPGAs           int     `json:"fpgas"` // 0 = unlimited
-	QueueDepth      int     `json:"queueDepth"`
-	CacheHits       int64   `json:"cacheHits"`
-	CacheMisses     int64   `json:"cacheMisses"`
-	CacheHitRate    float64 `json:"cacheHitRate"`
-	CacheEvictions  int64   `json:"cacheEvictions"`
-	CacheEntries    int     `json:"cacheEntries"`
-	CacheBytes      int64   `json:"cacheBytes"`
-	CacheMaxBytes   int64   `json:"cacheMaxBytes"`
-	DeviceWaitMs    float64 `json:"deviceWaitMs"`
-	DeviceHoldMs    float64 `json:"deviceHoldMs"`
-	DeviceAcquires  int     `json:"deviceAcquires"`
-	DeviceContended int     `json:"deviceContended"`
+	Batches    int64 `json:"batches"`
+	Jobs       int64 `json:"jobs"`
+	Errors     int64 `json:"errors"`
+	Skipped    int64 `json:"skipped"`
+	Overloaded int64 `json:"overloaded"`
+	// ShardedJobs counts jobs that took the row-band shard path.
+	ShardedJobs int64 `json:"shardedJobs"`
+	Workers     int   `json:"workers"`
+	FPGAs       int   `json:"fpgas"` // 0 = unlimited
+	QueueDepth  int   `json:"queueDepth"`
+	// QueuedJobs is the current queue occupancy (admitted and not yet
+	// delivered, with each band of a sharded job counted separately).
+	// RetryAfterSeconds is the 429 Retry-After a request rejected right
+	// now would carry — ceil(queuedJobs / workers) seconds, clamped to
+	// [1, 60] — so clients can see the congestion estimate before
+	// tripping it.
+	QueuedJobs        int     `json:"queuedJobs"`
+	RetryAfterSeconds int     `json:"retryAfterSeconds"`
+	CacheHits         int64   `json:"cacheHits"`
+	CacheMisses       int64   `json:"cacheMisses"`
+	CacheHitRate      float64 `json:"cacheHitRate"`
+	CacheEvictions    int64   `json:"cacheEvictions"`
+	CacheEntries      int     `json:"cacheEntries"`
+	CacheBytes        int64   `json:"cacheBytes"`
+	CacheMaxBytes     int64   `json:"cacheMaxBytes"`
+	DeviceWaitMs      float64 `json:"deviceWaitMs"`
+	DeviceHoldMs      float64 `json:"deviceHoldMs"`
+	DeviceAcquires    int     `json:"deviceAcquires"`
+	DeviceContended   int     `json:"deviceContended"`
 }
 
 // server is the HTTP front end over one long-lived flex.Service.
 type server struct {
-	svc      *flex.Service
-	maxBody  int64
-	maxScale float64
-	knownSet map[string]bool // valid design names, for up-front 400s
+	svc       *flex.Service
+	maxBody   int64
+	maxScale  float64
+	maxShards int
+	knownSet  map[string]bool // valid design names, for up-front 400s
 }
 
 // newServer routes the serving API over svc. maxBody bounds request bodies
 // in bytes (<= 0 = 64 MiB); maxScale bounds the generation scale a design
 // job may request (<= 0 = 0.2) — admission control against a stray
-// paper-size generation monopolizing a worker.
-func newServer(svc *flex.Service, maxBody int64, maxScale float64) http.Handler {
+// paper-size generation monopolizing a worker. maxShards bounds a job's
+// requested band count (<= 0 = 64): each band occupies one queue slot, so
+// the bound keeps one request from amplifying itself past the admission
+// control.
+func newServer(svc *flex.Service, maxBody int64, maxScale float64, maxShards int) http.Handler {
 	if maxBody <= 0 {
 		maxBody = 64 << 20
 	}
 	if maxScale <= 0 {
 		maxScale = 0.2
 	}
-	s := &server{svc: svc, maxBody: maxBody, maxScale: maxScale, knownSet: map[string]bool{}}
+	if maxShards <= 0 {
+		maxShards = 64
+	}
+	s := &server{svc: svc, maxBody: maxBody, maxScale: maxScale, maxShards: maxShards, knownSet: map[string]bool{}}
 	for _, d := range flex.Designs() {
 		s.knownSet[d] = true
 	}
@@ -138,7 +166,8 @@ func (s *server) parseJobs(r *http.Request) ([]flex.BatchJob, legalizeRequest, e
 			return nil, req, fmt.Errorf("invalid JSON body: %w", err)
 		}
 	} else {
-		// A raw flexpl payload: one job, engine/tag from query params.
+		// A raw flexpl payload: one job, engine/tag/shards/halo from query
+		// params.
 		l, err := flex.ReadLayout(r.Body)
 		if err != nil {
 			return nil, req, fmt.Errorf("invalid flexpl payload: %w", err)
@@ -147,7 +176,18 @@ func (s *server) parseJobs(r *http.Request) ([]flex.BatchJob, legalizeRequest, e
 		if err != nil {
 			return nil, req, err
 		}
-		return []flex.BatchJob{{Layout: l, Engine: e, Tag: r.URL.Query().Get("tag")}}, req, nil
+		shards, err := s.parseShards(r.URL.Query().Get("shards"))
+		if err != nil {
+			return nil, req, err
+		}
+		halo, err := parseHalo(r.URL.Query().Get("halo"))
+		if err != nil {
+			return nil, req, err
+		}
+		return []flex.BatchJob{{
+			Layout: l, Engine: e, Tag: r.URL.Query().Get("tag"),
+			Shards: shards, ShardHalo: halo,
+		}}, req, nil
 	}
 	if len(req.Jobs) == 0 {
 		return nil, req, errors.New("no jobs in request")
@@ -158,11 +198,19 @@ func (s *server) parseJobs(r *http.Request) ([]flex.BatchJob, legalizeRequest, e
 		if err != nil {
 			return nil, req, fmt.Errorf("job %d: %w", i, err)
 		}
+		if jr.Shards < 0 || jr.Shards > s.maxShards {
+			return nil, req, fmt.Errorf("job %d: shards must be in [0, %d], got %d", i, s.maxShards, jr.Shards)
+		}
+		if jr.Halo < 0 {
+			return nil, req, fmt.Errorf("job %d: halo must be >= 0, got %d", i, jr.Halo)
+		}
 		j := flex.BatchJob{
-			Engine:  e,
-			Options: flex.Options{Threads: jr.Threads},
-			Tag:     jr.Tag,
-			Scale:   jr.Scale,
+			Engine:    e,
+			Options:   flex.Options{Threads: jr.Threads},
+			Tag:       jr.Tag,
+			Scale:     jr.Scale,
+			Shards:    jr.Shards,
+			ShardHalo: jr.Halo,
 		}
 		switch {
 		case jr.Layout != "" && jr.Design != "":
@@ -203,6 +251,51 @@ func parseEngineDefault(name string) (flex.Engine, error) {
 	return flex.ParseEngine(name)
 }
 
+// parseShards maps an optional shards query parameter ("" = unsharded),
+// applying the server's band-count bound.
+func (s *server) parseShards(v string) (int, error) {
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 || n > s.maxShards {
+		return 0, fmt.Errorf("shards must be an integer in [0, %d], got %q", s.maxShards, v)
+	}
+	return n, nil
+}
+
+// parseHalo maps an optional halo query parameter ("" = library default).
+func parseHalo(v string) (int, error) {
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("halo must be a non-negative integer, got %q", v)
+	}
+	return n, nil
+}
+
+// retryAfterSeconds derives the 429 Retry-After value from current queue
+// occupancy: with Q jobs admitted (queued + running, each band of a sharded
+// job counted separately) over W workers, a client retrying after ~Q/W
+// seconds finds capacity if jobs average about a second — the paper-suite
+// ballpark at serving scales. Clamped to [1, 60] so the header is always a
+// sane positive delay; it is a congestion hint, not a reservation.
+func retryAfterSeconds(st flex.ServiceStats) int {
+	secs := 1
+	if st.Workers > 0 {
+		secs = (st.QueuedJobs + st.Workers - 1) / st.Workers
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
 // handleLegalize admits the batch onto the service and streams one NDJSON
 // result line per job in completion order, then a summary line. Admission
 // failures map to 429 (overloaded) / 503 (closed); malformed payloads to
@@ -225,7 +318,9 @@ func (s *server) handleLegalize(w http.ResponseWriter, r *http.Request) {
 	ch, err := s.svc.Stream(r.Context(), jobs, flex.SubmitOptions{FailFast: req.FailFast})
 	switch {
 	case errors.Is(err, flex.ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
+		// Retry-After scales with how deep the queue currently is — see
+		// retryAfterSeconds for the estimate's meaning.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.svc.Stats())))
 		writeJSONError(w, http.StatusTooManyRequests, "service overloaded: queue full")
 		return
 	case errors.Is(err, flex.ErrServiceClosed):
@@ -265,6 +360,7 @@ func (s *server) handleLegalize(w http.ResponseWriter, r *http.Request) {
 			line.WallMs = ms(res.Wall)
 			line.DeviceWaitMs = ms(res.DeviceWait)
 			line.DeviceHoldMs = ms(res.DeviceHold)
+			line.Shards = len(res.Shards)
 			sum.ModeledSeconds += o.ModeledSeconds
 			if req.IncludeLayout {
 				var sb strings.Builder
@@ -295,8 +391,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(statsResponse{
 		Batches: st.Batches, Jobs: st.Jobs, Errors: st.Errors,
 		Skipped: st.Skipped, Overloaded: st.Overloaded,
-		Workers: st.Workers, FPGAs: st.FPGAs, QueueDepth: st.QueueDepth,
-		CacheHits: st.CacheHits, CacheMisses: st.CacheMisses,
+		ShardedJobs: st.ShardedJobs,
+		Workers:     st.Workers, FPGAs: st.FPGAs, QueueDepth: st.QueueDepth,
+		QueuedJobs:        st.QueuedJobs,
+		RetryAfterSeconds: retryAfterSeconds(st),
+		CacheHits:         st.CacheHits, CacheMisses: st.CacheMisses,
 		CacheHitRate:   st.CacheHitRate(),
 		CacheEvictions: st.CacheEvictions, CacheEntries: st.CacheEntries,
 		CacheBytes: st.CacheBytes, CacheMaxBytes: st.CacheMaxBytes,

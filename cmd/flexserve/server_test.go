@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -18,7 +19,7 @@ func newTestServer(t *testing.T, opts ...flex.ServiceOption) *httptest.Server {
 		opts = []flex.ServiceOption{flex.WithWorkers(2), flex.WithCacheBytes(32 << 20)}
 	}
 	svc := flex.NewService(opts...)
-	ts := httptest.NewServer(newServer(svc, 8<<20, 0.05))
+	ts := httptest.NewServer(newServer(svc, 8<<20, 0.05, 8))
 	t.Cleanup(func() {
 		ts.Close()
 		svc.Close()
@@ -229,6 +230,97 @@ func TestLegalizeMalformedRequests(t *testing.T) {
 	}
 }
 
+func TestLegalizeShardedJob(t *testing.T) {
+	ts := newTestServer(t)
+	req := `{"jobs":[{"design":"fft_a_md2","scale":0.008,"engine":"flex","shards":2,"halo":2,"tag":"sh"}]}`
+	resp, err := http.Post(ts.URL+"/v1/legalize", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	results, sum := decodeNDJSON(t, bufio.NewScanner(resp.Body))
+	if len(results) != 1 || sum.Errors != 0 {
+		t.Fatalf("results %+v summary %+v", results, sum)
+	}
+	r := results[0]
+	if r.Shards != 2 {
+		t.Fatalf("shards = %d, want 2: %+v", r.Shards, r)
+	}
+	if r.Legal == nil || !*r.Legal || r.Movable <= 0 {
+		t.Fatalf("bad sharded result %+v", r)
+	}
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ShardedJobs != 1 {
+		t.Fatalf("shardedJobs = %d, want 1", st.ShardedJobs)
+	}
+	if st.RetryAfterSeconds < 1 {
+		t.Fatalf("retryAfterSeconds = %d, want >= 1", st.RetryAfterSeconds)
+	}
+}
+
+// TestShardKnobValidation: shard counts outside [0, max-shards] are 400s,
+// on both the JSON and raw-payload paths.
+func TestShardKnobValidation(t *testing.T) {
+	ts := newTestServer(t) // max-shards 8
+	for _, c := range []struct{ name, body, wantSub string }{
+		{"negative shards", `{"jobs":[{"design":"fft_a_md2","scale":0.008,"shards":-1}]}`, "shards must be in"},
+		{"too many shards", `{"jobs":[{"design":"fft_a_md2","scale":0.008,"shards":9}]}`, "shards must be in"},
+		{"negative halo", `{"jobs":[{"design":"fft_a_md2","scale":0.008,"halo":-1}]}`, "halo must be"},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/legalize", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eb errorBody
+		if decErr := json.NewDecoder(resp.Body).Decode(&eb); decErr != nil {
+			t.Fatal(decErr)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(eb.Error, c.wantSub) {
+			t.Fatalf("%s: status %d error %q", c.name, resp.StatusCode, eb.Error)
+		}
+	}
+	layout, err := flex.GenerateCustom(200, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := flex.WriteLayout(&sb, layout); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/legalize?engine=mgl&shards=99", "text/plain", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("raw payload with shards=99: status %d, want 400", resp.StatusCode)
+	}
+	ok, err := http.Post(ts.URL+"/v1/legalize?engine=mgl&shards=2", "text/plain", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("raw payload with shards=2: status %d", ok.StatusCode)
+	}
+	results, _ := decodeNDJSON(t, bufio.NewScanner(ok.Body))
+	if len(results) != 1 || results[0].Shards != 2 {
+		t.Fatalf("raw sharded result %+v", results)
+	}
+}
+
 func TestLegalizeOverloadReturns429(t *testing.T) {
 	// Queue depth 1: a 2-job batch can never be admitted.
 	ts := newTestServer(t, flex.WithWorkers(1), flex.WithQueueDepth(1))
@@ -240,6 +332,12 @@ func TestLegalizeOverloadReturns429(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	// Retry-After derives from current queue occupancy: an integer number
+	// of seconds, at least 1 even on an idle queue.
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 60 {
+		t.Fatalf("Retry-After %q, want an integer in [1, 60]", resp.Header.Get("Retry-After"))
 	}
 	var eb errorBody
 	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
@@ -276,7 +374,7 @@ func TestLegalizeOverloadReturns429(t *testing.T) {
 
 func TestLegalizeOversizedBodyReturns413(t *testing.T) {
 	svc := flex.NewService(flex.WithWorkers(1))
-	ts := httptest.NewServer(newServer(svc, 1024, 0.05)) // 1 KiB body limit
+	ts := httptest.NewServer(newServer(svc, 1024, 0.05, 8)) // 1 KiB body limit
 	t.Cleanup(func() {
 		ts.Close()
 		svc.Close()

@@ -222,6 +222,21 @@ type BatchJob struct {
 	Options Options
 	// Tag is an optional caller label echoed in the job's BatchResult.
 	Tag string
+	// Shards splits the job's layout into that many horizontal row bands
+	// (internal/shard) legalized as independent pool jobs and stitched back
+	// into one result — the path that fits paper-scale designs through
+	// workers that cannot hold a whole layout. 0 defers to the service's
+	// WithShards / auto-sharding defaults (no sharding on a plain
+	// LegalizeBatch); negative forces the unsharded path; values above what
+	// the die can hold are clamped. Shards == 1 still exercises the full
+	// split/stitch machinery and is byte-identical to the unsharded path.
+	Shards int
+	// ShardHalo is the seam-crossing reassignment window, in rows, a
+	// sharded job plans with: a cell whose global span pokes over a band
+	// seam within this many rows may be bumped to the upper band when that
+	// strictly shrinks its forced displacement. 0 defers to the service
+	// default (DefaultShardHalo); negative disables the halo.
+	ShardHalo int
 }
 
 // NeedsFPGA reports the job's accelerator requirement: FLEX occupies the
@@ -268,8 +283,16 @@ type BatchResult struct {
 	Wall time.Duration
 	// DeviceWait is the time the job queued for a modeled FPGA board;
 	// DeviceHold is the time it occupied one. Zero for CPU-only engines.
+	// For sharded jobs both sum over the bands, while Wall is the slowest
+	// band's (the bands ran concurrently).
 	DeviceWait time.Duration
 	DeviceHold time.Duration
+	// Shards holds a sharded job's per-band results in band order (bottom
+	// to top; Index is the band index), nil for unsharded jobs. Outcome is
+	// then the stitched whole-die result with metrics re-measured against
+	// the original global placement, and ModeledSeconds is the slowest
+	// band's — the modeled wall of a fully parallel sharded run.
+	Shards []BatchResult
 }
 
 // BatchSummary is a finished batch: per-job results in submission order
@@ -301,35 +324,53 @@ type BatchSummary struct {
 	DeviceHold time.Duration
 }
 
-// job builds the worker-pool closure: a CPU generation phase that overlaps
-// freely (resolving Design references through the supplied layout source —
-// a Service's memoizing cache, or plain Generate), then — for engines that
-// need the FPGA — a device phase holding one modeled board while the engine
-// streams the design through it.
-func (j BatchJob) job(generate func(design string, scale float64) (*Layout, error)) batch.Job[*Outcome] {
-	return func(ctx context.Context) (*Outcome, error) {
-		l := j.Layout
-		if l == nil {
-			scale := j.Scale
-			if scale == 0 {
-				scale = 1.0
-			}
-			var err error
-			if l, err = generate(j.Design, scale); err != nil {
-				return nil, err
-			}
-		}
-		if err := ctx.Err(); err != nil {
+// effectiveScale resolves the job's scale with the BatchJob convention:
+// 0 means 1.0, the paper's size.
+func (j BatchJob) effectiveScale() float64 {
+	if j.Scale == 0 {
+		return 1.0
+	}
+	return j.Scale
+}
+
+// resolveLayout returns the job's input layout, generating its Design
+// reference through the supplied layout source (a Service's memoizing
+// cache, or plain Generate) when no explicit layout is set.
+func (j BatchJob) resolveLayout(generate func(design string, scale float64) (*Layout, error)) (*Layout, error) {
+	if j.Layout != nil {
+		return j.Layout, nil
+	}
+	return generate(j.Design, j.effectiveScale())
+}
+
+// legalizeOnDevice is the job's engine phase: for engines that need the
+// FPGA it holds one modeled board while the engine streams l through it;
+// CPU-only engines run immediately. Plain jobs and a sharded job's band
+// jobs share this one recipe, so the device contract cannot drift between
+// them.
+func (j BatchJob) legalizeOnDevice(ctx context.Context, l *Layout) (*Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if j.NeedsFPGA() {
+		release, err := batch.AcquireDevice(ctx)
+		if err != nil {
 			return nil, err
 		}
-		if j.NeedsFPGA() {
-			release, err := batch.AcquireDevice(ctx)
-			if err != nil {
-				return nil, err
-			}
-			defer release()
+		defer release()
+	}
+	return LegalizeWith(l, j.Engine, j.Options)
+}
+
+// job builds the worker-pool closure: a CPU generation phase that overlaps
+// freely, then the engine phase (legalizeOnDevice).
+func (j BatchJob) job(generate func(design string, scale float64) (*Layout, error)) batch.Job[*Outcome] {
+	return func(ctx context.Context) (*Outcome, error) {
+		l, err := j.resolveLayout(generate)
+		if err != nil {
+			return nil, err
 		}
-		return LegalizeWith(l, j.Engine, j.Options)
+		return j.legalizeOnDevice(ctx, l)
 	}
 }
 

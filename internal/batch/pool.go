@@ -100,6 +100,15 @@ func (p *Pool) JobsDone() int64 {
 	return p.jobsDone
 }
 
+// Admitted returns the number of jobs admitted and not yet delivered right
+// now — queued plus running, summed over every in-flight batch. Against
+// PoolConfig.QueueDepth it measures current queue occupancy.
+func (p *Pool) Admitted() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.admitted
+}
+
 // admit reserves n admission slots, or rejects the whole batch.
 func (p *Pool) admit(n int) error {
 	p.mu.Lock()

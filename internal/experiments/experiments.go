@@ -3,8 +3,8 @@
 // synthetic IC/CAD 2017 suite at a configurable scale and returns the rows
 // or series the paper reports; cmd/flexbench and bench_test.go render them.
 //
-// DESIGN.md carries the experiment index; EXPERIMENTS.md records measured
-// shapes against the paper's.
+// docs/ARCHITECTURE.md places the drivers in the system's pipeline;
+// cmd/flexbench renders every driver from the command line.
 package experiments
 
 import (
@@ -81,6 +81,10 @@ func (o Options) suite() []gen.Spec {
 	if len(o.Designs) == 0 {
 		return all
 	}
+	// The superblue-scale designs join only by explicit name: they are two
+	// orders of magnitude bigger than the contest suite and must never be
+	// swept into a default full-suite run.
+	all = append(all, gen.Superblue()...)
 	want := map[string]bool{}
 	for _, n := range o.Designs {
 		want[n] = true

@@ -105,7 +105,7 @@ func RenderScalability(pts []ScalabilityPoint) *report.Table {
 	return t
 }
 
-// OrderingPoint is one row of the ordering ablation DESIGN.md calls out:
+// OrderingPoint is one row of the ordering ablation:
 // quality of the sliding-window ordering vs plain size ordering.
 type OrderingPoint struct {
 	Name        string

@@ -85,7 +85,7 @@ type PEConfig struct {
 var DefaultPE = PEConfig{Pipeline: MultiGranularity, SACS: SACSParal, NumPE: 2}
 
 // Calibrated cycle-model constants. They are architectural estimates, not
-// RTL measurements; EXPERIMENTS.md records the resulting ladder positions
+// RTL measurements; bench_test.go reproduces the resulting ladder positions
 // against the paper's bands (Figs. 8 and 9).
 const (
 	// origVisitCycles: one subcell check of the multi-pass algorithm —

@@ -1,6 +1,11 @@
 package gen
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+
+	"github.com/flex-eda/flex/internal/model"
+)
 
 // ICCAD2017 returns the 16 Table-1 designs of the paper, rebuilt from their
 // published cell counts and densities. Height mixes follow the paper's
@@ -65,6 +70,19 @@ func Superblue() []Spec {
 		mk("superblue11_a", 926000, 1801),
 		mk("superblue19", 506000, 1802),
 	}
+}
+
+// ApproxBytes estimates the resident footprint of the layout Generate(scale)
+// would produce, without generating it — the sizing hint auto-sharding uses
+// to split (design, scale) jobs before their layouts exist. It mirrors
+// GenerateLegal's cell-count rounding and model.ApproxBytesForCells'
+// per-cell accounting (blockage stripes, at most six, are noise).
+func (s Spec) ApproxBytes(scale float64) int64 {
+	n := int(math.Round(float64(s.NumCells) * scale))
+	if n < 16 {
+		n = 16
+	}
+	return model.ApproxBytesForCells(n)
 }
 
 // CacheKey identifies the layout Generate(scale) would produce. Generation

@@ -17,3 +17,11 @@ func (l *Layout) ApproxBytes() int64 {
 	}
 	return b
 }
+
+// ApproxBytesForCells estimates the resident footprint of a layout with n
+// cells without building it — ApproxBytes' per-cell accounting with a
+// nominal name length, the pre-generation sizing hint auto-sharding uses.
+func ApproxBytesForCells(n int) int64 {
+	const nominalNameLen = 8
+	return int64(unsafe.Sizeof(Layout{})) + int64(n)*(int64(unsafe.Sizeof(Cell{}))+nominalNameLen)
+}

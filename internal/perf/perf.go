@@ -11,7 +11,7 @@
 //
 // The constants are calibrated so the modeled CPU times of the MGL baseline
 // land in the regime of Table 1 (single seconds for ~100k-cell designs) —
-// the paper's comparisons are all relative, and EXPERIMENTS.md records
+// the paper's comparisons are all relative, and bench_test.go records
 // paper-vs-measured shapes rather than absolute numbers.
 package perf
 

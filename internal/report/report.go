@@ -1,6 +1,6 @@
 // Package report renders the experiment results as fixed-width text tables
 // and simple bar series, matching the rows and series of the paper's tables
-// and figures so EXPERIMENTS.md can be regenerated mechanically.
+// and figures so every driver table can be regenerated mechanically.
 package report
 
 import (

@@ -1,0 +1,310 @@
+// Package shard partitions a layout into independent horizontal row bands
+// so that one oversized design can be legalized as many smaller jobs — the
+// repo's path to paper-scale (scale 1.0) superblue runs, where a single
+// worker's memory share cannot hold the whole layout. The decomposition
+// mirrors how OpenPARF splits large heterogeneous placements into
+// independently-optimized regions and how SYNERGY virtualizes one physical
+// FPGA across partitioned workloads.
+//
+// The lifecycle is Plan → Split → legalize each band → Stitch:
+//
+//   - PlanBands chooses K contiguous row windows that partition the die.
+//     Boundaries land on even rows so P/G rail parity (model.PGParity) means
+//     the same thing inside a band as in the whole die, and every band is
+//     tall enough to hold the tallest cell. Each movable cell is owned by
+//     exactly one band — normally the band containing its global-placement
+//     row, with a configurable halo that lets a cell whose span crosses a
+//     seam be bumped to the upper band when that strictly shrinks its
+//     unavoidable clamp displacement.
+//   - Split materializes one self-contained model.Layout per band: owned
+//     movable cells shifted into band coordinates, plus every fixed cell
+//     clipped to the window (clipped fragments turn ParityAny — rail
+//     alignment is meaningless for a fragment). Original cell order is
+//     preserved, so a single-band split is cell-for-cell identical to a
+//     Clone of the input.
+//   - Stitch copies the bands' legalized positions back onto a clone of the
+//     original layout. Because band windows are disjoint in rows and fixed
+//     cells never move, K individually legal bands stitch into one legal
+//     layout. With zero legalization in between, Split→Stitch is lossless:
+//     the round trip reproduces the input bit for bit.
+//
+// Everything here is deterministic: for a fixed (layout, K, halo) the plan,
+// the band layouts, and the stitched result are identical however the band
+// jobs are scheduled.
+package shard
+
+import (
+	"fmt"
+
+	"github.com/flex-eda/flex/internal/model"
+)
+
+// Band is one horizontal slice of the plan: the owned row window
+// [LoRow, HiRow) in die coordinates, plus the mapping from the band
+// layout's cell indices back to the original layout's cell IDs.
+type Band struct {
+	// Index is the band's position in the plan, bottom to top.
+	Index int
+	// LoRow (inclusive, always even) and HiRow (exclusive) bound the rows
+	// this band owns. Bands partition [0, NumRows).
+	LoRow, HiRow int
+	// Source maps each cell of the band layout, in order, to the original
+	// layout's cell ID — or -1 for fixed context cells (clipped blockage
+	// fragments), which Stitch never copies back.
+	Source []int
+	// Movable counts the band's owned movable cells.
+	Movable int
+}
+
+// Rows returns the band's owned height in rows.
+func (b Band) Rows() int { return b.HiRow - b.LoRow }
+
+// Plan is a complete row-band decomposition of one layout.
+type Plan struct {
+	// Bands partition the die's rows, bottom to top. The effective band
+	// count may be lower than requested when the die is too short.
+	Bands []Band
+	// Halo is the seam-crossing reassignment window the plan was built
+	// with, in rows (see PlanBands).
+	Halo int
+	// NumRows and Cells echo the planned layout's shape so Split and
+	// Stitch can reject a mismatched layout.
+	NumRows int
+	Cells   int
+}
+
+// minBandRows returns the smallest legal band height for the layout: at
+// least the tallest movable cell (so every owned cell fits any band) and at
+// least 2 (so boundaries can stay even). Fixed cells don't constrain the
+// height — full-die blockage stripes are clipped to each window.
+func minBandRows(l *model.Layout) int {
+	h := 2
+	for i := range l.Cells {
+		if c := &l.Cells[i]; !c.Fixed && c.H > h {
+			h = c.H
+		}
+	}
+	return h
+}
+
+// PlanBands decomposes l into (up to) k horizontal bands with the given
+// halo. k is clamped to what the die can hold — every band must span at
+// least the tallest cell's height, on even boundaries — so any k >= 1 is
+// accepted, including k larger than the row count (which degrades to fewer
+// bands, in the limit one). halo is the number of rows below a seam within
+// which a seam-crossing cell may be reassigned to the band above when that
+// strictly reduces the displacement the seam forces on it; halo < 0 is
+// treated as 0.
+//
+// Ownership is deterministic: a movable cell belongs to the band containing
+// its clamped global-placement bottom row, modulo the halo rule above.
+func PlanBands(l *model.Layout, k, halo int) (*Plan, error) {
+	if l == nil {
+		return nil, fmt.Errorf("shard: nil layout")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("shard: band count must be >= 1, got %d", k)
+	}
+	if l.NumRows < 1 {
+		return nil, fmt.Errorf("shard: layout has no rows")
+	}
+	if halo < 0 {
+		halo = 0
+	}
+	minRows := minBandRows(l)
+	if maxK := l.NumRows / minRows; k > maxK {
+		k = maxK
+	}
+	if k < 1 {
+		k = 1
+	}
+	bounds := bandBounds(l.NumRows, k, minRows)
+	k = len(bounds) - 1
+
+	p := &Plan{Halo: halo, NumRows: l.NumRows, Cells: len(l.Cells)}
+	p.Bands = make([]Band, k)
+	for b := 0; b < k; b++ {
+		p.Bands[b] = Band{Index: b, LoRow: bounds[b], HiRow: bounds[b+1]}
+	}
+	assign(l, p)
+	return p, nil
+}
+
+// bandBounds splits numRows into k windows of near-equal height with even
+// lower boundaries, each at least minRows tall. It retries with fewer bands
+// when rounding starves one, so the result always satisfies the invariant.
+func bandBounds(numRows, k, minRows int) []int {
+	for ; k > 1; k-- {
+		bounds := make([]int, k+1)
+		ok := true
+		for i := 1; i < k; i++ {
+			b := numRows * i / k
+			b -= b % 2 // parity: band coordinates must preserve row parity
+			bounds[i] = b
+			if bounds[i]-bounds[i-1] < minRows {
+				ok = false
+				break
+			}
+		}
+		bounds[k] = numRows
+		if ok && bounds[k]-bounds[k-1] >= minRows {
+			return bounds
+		}
+	}
+	return []int{0, numRows}
+}
+
+// assign fills each band's Source map: fixed cells join every band they
+// intersect (as context), movable cells join exactly the band that owns
+// them.
+func assign(l *model.Layout, p *Plan) {
+	k := len(p.Bands)
+	for i := range l.Cells {
+		c := &l.Cells[i]
+		if c.Fixed {
+			for b := range p.Bands {
+				if c.Y < p.Bands[b].HiRow && c.Y+c.H > p.Bands[b].LoRow {
+					p.Bands[b].Source = append(p.Bands[b].Source, -1-i)
+				}
+			}
+			continue
+		}
+		b := bandOf(p, clamp(c.GY, 0, p.NumRows-1))
+		// Halo rule: a cell poking over its band's upper seam may move up
+		// one band when its global row is within halo rows of the seam and
+		// the upper band's forced displacement is strictly smaller.
+		if p.Halo > 0 && b+1 < k {
+			seam := p.Bands[b].HiRow
+			if over := c.GY + c.H - seam; over > 0 {
+				if under := seam - c.GY; under <= p.Halo && under < over {
+					b++
+				}
+			}
+		}
+		p.Bands[b].Source = append(p.Bands[b].Source, i)
+		p.Bands[b].Movable++
+	}
+}
+
+// bandOf returns the index of the band owning row y.
+func bandOf(p *Plan, y int) int {
+	for b := range p.Bands {
+		if y < p.Bands[b].HiRow {
+			return b
+		}
+	}
+	return len(p.Bands) - 1
+}
+
+// Split materializes the plan's band layouts. Each band is a self-contained
+// layout in band coordinates (rows shifted down by LoRow): the band's owned
+// movable cells in original order interleaved with every fixed cell clipped
+// to the window. Owned cells keep their true global-placement row whenever
+// it lies inside the window and are clamped onto it otherwise (the
+// displacement cost the plan's halo rule minimizes). With one band the
+// split layout is cell-for-cell identical to a Clone of l.
+func Split(l *model.Layout, p *Plan) ([]*model.Layout, error) {
+	if err := p.check(l); err != nil {
+		return nil, err
+	}
+	out := make([]*model.Layout, len(p.Bands))
+	for b := range p.Bands {
+		band := &p.Bands[b]
+		bl := &model.Layout{
+			Name:      l.Name,
+			NumSitesX: l.NumSitesX,
+			NumRows:   band.Rows(),
+			RowHeight: l.RowHeight,
+			Cells:     make([]model.Cell, 0, len(band.Source)),
+		}
+		for _, src := range band.Source {
+			var c model.Cell
+			if src < 0 { // fixed context cell, clipped to the window
+				c = l.Cells[-1-src]
+				lo, hi := c.Y, c.Y+c.H
+				if lo < band.LoRow {
+					lo = band.LoRow
+				}
+				if hi > band.HiRow {
+					hi = band.HiRow
+				}
+				if lo != c.Y || hi != c.Y+c.H {
+					// A fragment's P/G alignment is meaningless; Any keeps
+					// the band layout legality-checkable.
+					c.Parity = model.ParityAny
+				}
+				c.Y, c.H = lo-band.LoRow, hi-lo
+				c.GY = c.Y
+			} else {
+				c = l.Cells[src]
+				c.Y -= band.LoRow
+				c.GY = clamp(c.GY, band.LoRow, band.HiRow-c.H) - band.LoRow
+			}
+			c.ID = len(bl.Cells)
+			bl.Cells = append(bl.Cells, c)
+		}
+		out[b] = bl
+	}
+	return out, nil
+}
+
+// Stitch copies the bands' movable-cell positions back onto a clone of the
+// original layout, translating band coordinates to die coordinates. Fixed
+// cells and every other field come from the original, so a split whose
+// bands were never legalized stitches back bit-for-bit. The bands slice
+// must come from Split on the same (layout, plan) pair; a band slot may be
+// nil only when its band owns no movable cells.
+func Stitch(l *model.Layout, p *Plan, bands []*model.Layout) (*model.Layout, error) {
+	if err := p.check(l); err != nil {
+		return nil, err
+	}
+	if len(bands) != len(p.Bands) {
+		return nil, fmt.Errorf("shard: got %d band layouts for a %d-band plan", len(bands), len(p.Bands))
+	}
+	out := l.Clone()
+	for b, bl := range bands {
+		band := &p.Bands[b]
+		if bl == nil {
+			if band.Movable > 0 {
+				return nil, fmt.Errorf("shard: band %d layout missing (%d owned cells)", b, band.Movable)
+			}
+			continue
+		}
+		if len(bl.Cells) != len(band.Source) {
+			return nil, fmt.Errorf("shard: band %d has %d cells, plan expects %d", b, len(bl.Cells), len(band.Source))
+		}
+		for i, src := range band.Source {
+			if src < 0 {
+				continue
+			}
+			out.Cells[src].X = bl.Cells[i].X
+			out.Cells[src].Y = bl.Cells[i].Y + band.LoRow
+		}
+	}
+	return out, nil
+}
+
+// check rejects a layout that does not match the plan's shape.
+func (p *Plan) check(l *model.Layout) error {
+	if l == nil || p == nil {
+		return fmt.Errorf("shard: nil layout or plan")
+	}
+	if l.NumRows != p.NumRows || len(l.Cells) != p.Cells {
+		return fmt.Errorf("shard: layout (%d rows, %d cells) does not match plan (%d rows, %d cells)",
+			l.NumRows, len(l.Cells), p.NumRows, p.Cells)
+	}
+	return nil
+}
+
+func clamp(v, lo, hi int) int {
+	if hi < lo {
+		hi = lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,261 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/flex-eda/flex/internal/gen"
+	"github.com/flex-eda/flex/internal/mgl"
+	"github.com/flex-eda/flex/internal/model"
+)
+
+// encode renders a layout in flexpl text, the byte-identity currency of
+// every determinism test in this repo.
+func encode(t *testing.T, l *model.Layout) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := model.Encode(&buf, l); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func generate(t *testing.T, spec gen.Spec, scale float64) *model.Layout {
+	t.Helper()
+	l, err := spec.Generate(scale)
+	if err != nil {
+		t.Fatalf("generate %s: %v", spec.Name, err)
+	}
+	return l
+}
+
+// TestSplitStitchRoundTripLossless is the stitching property test: for any
+// generated layout and any band count — including one and far more than the
+// die has rows — splitting and immediately stitching (zero legalization in
+// between) must reproduce the input bit for bit.
+func TestSplitStitchRoundTripLossless(t *testing.T) {
+	layouts := []*model.Layout{
+		generate(t, gen.Small(300, 0.5, 1), 1.0),
+		generate(t, gen.Small(900, 0.72, 7), 1.0),
+		generate(t, gen.ICCAD2017()[9], 0.01), // fft_a_md2: blockage stripes
+	}
+	// An odd-row, blockage-free die exercises the even-boundary rounding.
+	odd := &model.Layout{Name: "odd", NumSitesX: 40, NumRows: 9, RowHeight: 8}
+	for i := 0; i < 12; i++ {
+		odd.Cells = append(odd.Cells, model.Cell{
+			ID: i, Name: fmt.Sprintf("c%d", i),
+			X: i * 3, Y: i % 6, GX: i * 3, GY: i % 6,
+			W: 2, H: 1 + i%3, Parity: model.ParityAny,
+		})
+	}
+	layouts = append(layouts, odd)
+
+	for li, l := range layouts {
+		want := encode(t, l)
+		for _, k := range []int{1, 2, 7, 1000} { // 1000 >> any test die's rows
+			for _, halo := range []int{0, 2, 5} {
+				p, err := PlanBands(l, k, halo)
+				if err != nil {
+					t.Fatalf("layout %d: PlanBands(%d, %d): %v", li, k, halo, err)
+				}
+				bands, err := Split(l, p)
+				if err != nil {
+					t.Fatalf("layout %d: Split k=%d: %v", li, k, err)
+				}
+				got, err := Stitch(l, p, bands)
+				if err != nil {
+					t.Fatalf("layout %d: Stitch k=%d: %v", li, k, err)
+				}
+				if !bytes.Equal(want, encode(t, got)) {
+					t.Fatalf("layout %d (%s): split→stitch not lossless at k=%d halo=%d",
+						li, l.Name, k, halo)
+				}
+				if !bytes.Equal(want, encode(t, l)) {
+					t.Fatalf("layout %d: split/stitch mutated the input at k=%d", li, k)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanPartitionInvariants checks the plan's structural contract: bands
+// partition the rows on even boundaries, every band holds the tallest cell,
+// and every movable cell is owned by exactly one band that it fits in.
+func TestPlanPartitionInvariants(t *testing.T) {
+	l := generate(t, gen.Small(800, 0.6, 3), 1.0)
+	for _, k := range []int{1, 2, 3, 7, 64, 10000} {
+		p, err := PlanBands(l, k, 2)
+		if err != nil {
+			t.Fatalf("PlanBands(%d): %v", k, err)
+		}
+		minRows := minBandRows(l)
+		prev := 0
+		for _, b := range p.Bands {
+			if b.LoRow != prev {
+				t.Fatalf("k=%d: band %d starts at %d, want %d", k, b.Index, b.LoRow, prev)
+			}
+			if b.LoRow%2 != 0 {
+				t.Fatalf("k=%d: band %d starts on odd row %d", k, b.Index, b.LoRow)
+			}
+			if b.Rows() < minRows {
+				t.Fatalf("k=%d: band %d is %d rows, min %d", k, b.Index, b.Rows(), minRows)
+			}
+			prev = b.HiRow
+		}
+		if prev != l.NumRows {
+			t.Fatalf("k=%d: bands end at %d, want %d", k, prev, l.NumRows)
+		}
+		owned := make([]int, len(l.Cells))
+		movable := 0
+		for _, b := range p.Bands {
+			for _, src := range b.Source {
+				if src >= 0 {
+					owned[src]++
+				}
+			}
+			movable += b.Movable
+		}
+		for i := range l.Cells {
+			want := 1
+			if l.Cells[i].Fixed {
+				want = 0
+			}
+			if owned[i] != want {
+				t.Fatalf("k=%d: cell %d owned by %d bands, want %d", k, i, owned[i], want)
+			}
+		}
+		if want := len(l.MovableIDs()); movable != want {
+			t.Fatalf("k=%d: plan owns %d movable cells, want %d", k, movable, want)
+		}
+	}
+}
+
+// TestSingleBandSplitEqualsClone: a one-band split must be cell-for-cell
+// identical to the input, so shards=1 runs cannot diverge from the
+// unsharded path.
+func TestSingleBandSplitEqualsClone(t *testing.T) {
+	l := generate(t, gen.Small(400, 0.55, 5), 1.0)
+	p, err := PlanBands(l, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bands, err := Split(l, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bands) != 1 {
+		t.Fatalf("got %d bands, want 1", len(bands))
+	}
+	if !bytes.Equal(encode(t, l), encode(t, bands[0])) {
+		t.Fatal("single-band split differs from the input layout")
+	}
+}
+
+// TestShardedLegalizationStitchesLegal legalizes each band independently
+// and checks the stitched result is a legal layout of the original die —
+// the disjoint-window guarantee sharded runs rest on.
+func TestShardedLegalizationStitchesLegal(t *testing.T) {
+	l := generate(t, gen.Small(1200, 0.6, 11), 1.0)
+	for _, k := range []int{2, 4} {
+		p, err := PlanBands(l, k, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bands, err := Split(l, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legalized := make([]*model.Layout, len(bands))
+		for b, bl := range bands {
+			res := mgl.Legalize(bl, mgl.Config{})
+			if !res.Legal {
+				t.Fatalf("k=%d: band %d did not legalize: %v", k, b, res.Violations)
+			}
+			legalized[b] = res.Layout
+		}
+		got, err := Stitch(l, p, legalized)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vs := got.Check(0); len(vs) > 0 {
+			t.Fatalf("k=%d: stitched layout has %d violations, first %v", k, len(vs), vs[0])
+		}
+	}
+}
+
+// TestHaloReassignsSeamCrossers: with a halo, a tall cell whose global span
+// pokes just over a seam is owned by the upper band; with halo 0 it stays
+// in the band of its bottom row.
+func TestHaloReassignsSeamCrossers(t *testing.T) {
+	// 16 rows, one 4-row cell whose GY sits one row under the k=2 seam (8).
+	l := &model.Layout{Name: "seam", NumSitesX: 64, NumRows: 16, RowHeight: 8}
+	l.Cells = []model.Cell{
+		{ID: 0, Name: "tall", X: 0, Y: 7, GX: 0, GY: 7, W: 4, H: 4, Parity: model.ParityAny},
+		{ID: 1, Name: "low", X: 10, Y: 1, GX: 10, GY: 1, W: 3, H: 1, Parity: model.ParityAny},
+		{ID: 2, Name: "high", X: 20, Y: 12, GX: 20, GY: 12, W: 3, H: 1, Parity: model.ParityAny},
+	}
+	ownerOf := func(p *Plan, id int) int {
+		for _, b := range p.Bands {
+			for _, src := range b.Source {
+				if src == id {
+					return b.Index
+				}
+			}
+		}
+		return -1
+	}
+	p0, err := PlanBands(l, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ownerOf(p0, 0); got != 0 {
+		t.Fatalf("halo 0: tall cell owned by band %d, want 0", got)
+	}
+	// GY 7, H 4 crosses seam 8 by over=3 while under=1: the upper band's
+	// forced displacement (1 row) beats the lower's (3 rows) within halo 2.
+	p2, err := PlanBands(l, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ownerOf(p2, 0); got != 1 {
+		t.Fatalf("halo 2: tall cell owned by band %d, want 1", got)
+	}
+	for _, p := range []*Plan{p0, p2} {
+		if got := ownerOf(p, 1); got != 0 {
+			t.Fatalf("low cell owned by band %d, want 0", got)
+		}
+		if got := ownerOf(p, 2); got != 1 {
+			t.Fatalf("high cell owned by band %d, want 1", got)
+		}
+	}
+}
+
+// TestStitchRejectsMismatches: shape mismatches must fail loudly, not
+// corrupt a layout.
+func TestStitchRejectsMismatches(t *testing.T) {
+	l := generate(t, gen.Small(200, 0.5, 2), 1.0)
+	p, err := PlanBands(l, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bands, err := Split(l, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stitch(l, p, bands[:1]); err == nil {
+		t.Fatal("Stitch accepted a short band slice")
+	}
+	other := generate(t, gen.Small(300, 0.5, 9), 1.0)
+	if _, err := Stitch(other, p, bands); err == nil {
+		t.Fatal("Stitch accepted a mismatched layout")
+	}
+	if _, err := Split(other, p); err == nil {
+		t.Fatal("Split accepted a mismatched layout")
+	}
+	clipped := *bands[0]
+	clipped.Cells = clipped.Cells[:len(clipped.Cells)-1]
+	if _, err := Stitch(l, p, []*model.Layout{&clipped, bands[1]}); err == nil {
+		t.Fatal("Stitch accepted a band with missing cells")
+	}
+}

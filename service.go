@@ -22,10 +22,13 @@ var ErrServiceClosed = errors.New("flex: service closed")
 
 // serviceConfig collects the functional options.
 type serviceConfig struct {
-	workers    int
-	fpgas      int
-	cacheBytes int64
-	queueDepth int
+	workers        int
+	fpgas          int
+	cacheBytes     int64
+	queueDepth     int
+	shards         int
+	shardHalo      int
+	autoShardBytes int64
 }
 
 // ServiceOption configures NewService.
@@ -52,8 +55,34 @@ func WithCacheBytes(b int64) ServiceOption { return func(c *serviceConfig) { c.c
 // WithQueueDepth bounds admitted jobs (queued + running, summed over every
 // in-flight submission); a Submit or Stream that would exceed it fails with
 // ErrOverloaded. 0 (the default) = unbounded. A single batch larger than
-// the whole depth can never be admitted.
+// the whole depth can never be admitted. Sharded jobs count one slot per
+// band: a job split K ways occupies K of the depth.
 func WithQueueDepth(d int) ServiceOption { return func(c *serviceConfig) { c.queueDepth = d } }
+
+// WithShards sets the default shard count applied to every job that leaves
+// BatchJob.Shards at 0: k >= 1 splits each job's layout into k horizontal
+// row bands legalized as independent pool jobs and stitched back into one
+// result (clamped to what each die can hold). 0 (the default) disables
+// default sharding; jobs still opt in per job.
+func WithShards(k int) ServiceOption { return func(c *serviceConfig) { c.shards = k } }
+
+// WithShardHalo sets the default seam-crossing reassignment window, in
+// rows, for sharded jobs that leave BatchJob.ShardHalo at 0 (see that field;
+// 0 here means DefaultShardHalo, negative disables the halo).
+func WithShardHalo(rows int) ServiceOption { return func(c *serviceConfig) { c.shardHalo = rows } }
+
+// WithAutoShardBytes turns on size-triggered sharding: any job whose layout
+// footprint (model.Layout.ApproxBytes for explicit layouts, the spec's
+// scaled estimate for design references) exceeds b bytes is split into
+// enough row bands to bring each band under b — the guard that keeps a
+// paper-scale design from monopolizing one worker's memory share. The
+// derived band count is capped at 64 so one oversized job cannot amplify
+// itself past the queue depth (each band occupies one admission slot).
+// Jobs with an explicit Shards knob, and services with a WithShards
+// default, are unaffected. b <= 0 disables auto-sharding, the default.
+func WithAutoShardBytes(b int64) ServiceOption {
+	return func(c *serviceConfig) { c.autoShardBytes = b }
+}
 
 // Service is a long-lived legalization service: it owns the worker pool,
 // the modeled FPGA board pool, and the layout cache that a sequence of
@@ -75,9 +104,15 @@ type Service struct {
 	layouts *cache.LRU // nil = caching disabled
 	depth   int
 
+	// Sharding policy (see WithShards / WithShardHalo / WithAutoShardBytes).
+	shards         int
+	shardHalo      int
+	autoShardBytes int64
+
 	mu         sync.Mutex
 	batches    int64
 	jobs       int64
+	sharded    int64
 	errs       int64
 	skipped    int64
 	overloaded int64
@@ -90,9 +125,15 @@ func NewService(opts ...ServiceOption) *Service {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.shardHalo == 0 {
+		cfg.shardHalo = DefaultShardHalo
+	}
 	s := &Service{
-		pool:  batch.NewPool(batch.PoolConfig{Workers: cfg.workers, FPGAs: cfg.fpgas, QueueDepth: cfg.queueDepth}),
-		depth: cfg.queueDepth,
+		pool:           batch.NewPool(batch.PoolConfig{Workers: cfg.workers, FPGAs: cfg.fpgas, QueueDepth: cfg.queueDepth}),
+		depth:          cfg.queueDepth,
+		shards:         cfg.shards,
+		shardHalo:      cfg.shardHalo,
+		autoShardBytes: cfg.autoShardBytes,
 	}
 	if cfg.cacheBytes > 0 {
 		s.layouts = cache.New(cfg.cacheBytes)
@@ -108,8 +149,14 @@ type SubmitOptions struct {
 	FailFast bool
 	// OnResult, when set, observes every job's BatchResult in completion
 	// order while the batch is still running. It is called synchronously
-	// on the result path; keep it fast.
+	// on the result path; keep it fast. A sharded job is observed once,
+	// when its last band lands and the stitched result is ready.
 	OnResult func(BatchResult)
+	// OnShard, when set, observes each band of a sharded job as it
+	// finishes, before the job's stitched OnResult — the hook CLIs use for
+	// per-shard progress lines. job is the submitted job's index; r.Index
+	// is the band index. Called synchronously on the result path.
+	OnShard func(job int, r BatchResult)
 }
 
 // Submit runs one batch on the service and blocks until every job is
@@ -119,30 +166,35 @@ type SubmitOptions struct {
 // ErrServiceClosed — then the summary is nil) or stopped early (ctx
 // canceled, or FailFast tripped).
 func (s *Service) Submit(ctx context.Context, jobs []BatchJob, opt SubmitOptions) (*BatchSummary, error) {
-	var onResult func(batch.Result[*Outcome])
-	if opt.OnResult != nil {
-		onResult = func(r batch.Result[*Outcome]) { opt.OnResult(jobs[r.Index].toResult(r)) }
-	}
-	results, st, err := batch.RunOn(ctx, s.pool, s.batchJobs(jobs), opt.FailFast, onResult)
+	e := s.expand(jobs)
+	col := newShardCollector(e, opt.OnShard, func(br BatchResult) {
+		if opt.OnResult != nil {
+			opt.OnResult(br)
+		}
+	})
+	_, st, err := batch.RunOn(ctx, s.pool, e.pool, opt.FailFast, col.observe)
 	if rejected := s.admissionError(err); rejected != nil {
 		return nil, rejected
 	}
+	// Every pool result was observed, so every submitted job has folded.
 	sum := &BatchSummary{
-		Results: make([]BatchResult, len(results)),
-		Errors:  st.Errors,
-		Skipped: st.Skipped,
+		Results: col.results,
 		Workers: st.Workers,
 		Wall:    st.Wall, WorkWall: st.WorkWall,
 		FPGAs:      st.FPGAs,
 		DeviceWait: st.DeviceWait, DeviceHold: st.DeviceHold,
 	}
-	for i, r := range results {
-		sum.Results[i] = jobs[i].toResult(r)
-		if r.Err == nil && r.Value != nil {
-			sum.ModeledSeconds += r.Value.ModeledSeconds
+	for _, br := range col.results {
+		switch {
+		case IsBatchSkipped(br.Err):
+			sum.Skipped++
+		case br.Err != nil:
+			sum.Errors++
+		case br.Outcome != nil:
+			sum.ModeledSeconds += br.Outcome.ModeledSeconds
 		}
 	}
-	s.account(len(jobs), st.Errors, st.Skipped)
+	s.account(len(jobs), col.sharded, sum.Errors, sum.Skipped)
 	return sum, err
 }
 
@@ -161,7 +213,8 @@ func (s *Service) Stream(ctx context.Context, jobs []BatchJob, opt SubmitOptions
 // stream is Stream with an after-drain hook, so the LegalizeBatchStream
 // wrapper can tear its throwaway service down once the channel closes.
 func (s *Service) stream(ctx context.Context, jobs []BatchJob, opt SubmitOptions, onDrained func()) (<-chan BatchResult, error) {
-	in, err := batch.StreamOn(ctx, s.pool, s.batchJobs(jobs), opt.FailFast)
+	e := s.expand(jobs)
+	in, err := batch.StreamOn(ctx, s.pool, e.pool, opt.FailFast)
 	if rejected := s.admissionError(err); rejected != nil {
 		return nil, rejected
 	}
@@ -172,8 +225,7 @@ func (s *Service) stream(ctx context.Context, jobs []BatchJob, opt SubmitOptions
 		}
 		defer close(out)
 		var errs, skipped int
-		for r := range in {
-			br := jobs[r.Index].toResult(r)
+		col := newShardCollector(e, opt.OnShard, func(br BatchResult) {
 			switch {
 			case IsBatchSkipped(br.Err):
 				skipped++
@@ -184,8 +236,11 @@ func (s *Service) stream(ctx context.Context, jobs []BatchJob, opt SubmitOptions
 				opt.OnResult(br)
 			}
 			out <- br
+		})
+		for r := range in {
+			col.observe(r)
 		}
-		s.account(len(jobs), errs, skipped)
+		s.account(len(jobs), col.sharded, errs, skipped)
 	}()
 	return out, nil
 }
@@ -207,10 +262,11 @@ func (s *Service) admissionError(err error) error {
 }
 
 // account folds one finished batch into the cumulative counters.
-func (s *Service) account(jobs, errs, skipped int) {
+func (s *Service) account(jobs, sharded, errs, skipped int) {
 	s.mu.Lock()
 	s.batches++
 	s.jobs += int64(jobs)
+	s.sharded += int64(sharded)
 	s.errs += int64(errs)
 	s.skipped += int64(skipped)
 	s.mu.Unlock()
@@ -230,6 +286,15 @@ type ServiceStats struct {
 	// delivered; Errors jobs that ran and failed; Skipped jobs canceled
 	// before starting; Overloaded submissions rejected at admission.
 	Batches, Jobs, Errors, Skipped, Overloaded int64
+	// ShardedJobs counts the jobs that took the row-band shard path
+	// (BatchJob.Shards, WithShards, or auto-sharding).
+	ShardedJobs int64
+	// QueuedJobs is the number of pool jobs admitted and not yet
+	// delivered right now — queued plus running, with each band of a
+	// sharded job counted separately. Against QueueDepth it measures how
+	// close the service is to shedding load; flexserve derives its 429
+	// Retry-After from it.
+	QueuedJobs int
 	// Workers is the persistent pool size; FPGAs the modeled board count
 	// (0 = unlimited); QueueDepth the admission bound (0 = unbounded).
 	Workers, FPGAs, QueueDepth int
@@ -260,7 +325,9 @@ func (s *Service) Stats() ServiceStats {
 	st := ServiceStats{
 		Batches: s.batches, Jobs: s.jobs, Errors: s.errs,
 		Skipped: s.skipped, Overloaded: s.overloaded,
-		Workers: s.pool.Workers(), QueueDepth: s.depth,
+		ShardedJobs: s.sharded,
+		Workers:     s.pool.Workers(), QueueDepth: s.depth,
+		QueuedJobs: s.pool.Admitted(),
 	}
 	s.mu.Unlock()
 	if s.layouts != nil {
@@ -286,14 +353,4 @@ func (s *Service) generate(design string, scale float64) (*Layout, error) {
 		return nil, err
 	}
 	return gen.Cached(s.layouts, spec, scale)
-}
-
-// batchJobs builds the pool closures for one submission, wiring the
-// service's layout source into every (design, scale) job.
-func (s *Service) batchJobs(jobs []BatchJob) []batch.Job[*Outcome] {
-	bjobs := make([]batch.Job[*Outcome], len(jobs))
-	for i, j := range jobs {
-		bjobs[i] = j.job(s.generate)
-	}
-	return bjobs
 }

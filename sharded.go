@@ -1,0 +1,330 @@
+package flex
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/flex-eda/flex/internal/batch"
+	"github.com/flex-eda/flex/internal/gen"
+	"github.com/flex-eda/flex/internal/model"
+	"github.com/flex-eda/flex/internal/shard"
+)
+
+// DefaultShardHalo is the seam-crossing reassignment window, in rows, a
+// sharded job plans with when neither the job nor the service overrides it
+// (see BatchJob.ShardHalo).
+const DefaultShardHalo = 2
+
+// maxAutoShards caps size-triggered sharding (WithAutoShardBytes): each
+// band occupies one admission slot, so an unbounded ceil(bytes/threshold)
+// would let one oversized job amplify itself past the queue depth.
+// Explicit BatchJob.Shards / WithShards requests are not capped — the
+// caller asked for exactly that expansion.
+const maxAutoShards = 64
+
+// shardPrep is the lazily computed decomposition one sharded job's band
+// jobs share: whichever band job the pool runs first resolves the layout
+// (through the service's cache for design references) and splits it; its
+// siblings reuse the memoized result.
+type shardPrep struct {
+	layout *Layout
+	plan   *shard.Plan
+	bands  []*Layout
+}
+
+// jobOrigin maps one pool job back to the submitted job it came from.
+type jobOrigin struct {
+	owner int // submitted job index
+	band  int // band index within the owner (0 for plain jobs)
+}
+
+// shardState is one sharded job's shared decomposition: the memoized prep
+// plus the effective band count, published once the split exists so the
+// collector can tell a real band from a padding slot (a band index beyond
+// what the plan could hold).
+type shardState struct {
+	prep      func() (*shardPrep, error)
+	effective atomic.Int32 // len(plan.Bands) once split; 0 = not yet known
+}
+
+// expansion is one submission's flattened job set. Plain jobs pass through
+// one-to-one; a job with effective shard count K contributes K pool jobs —
+// one per planned band, padding slots returning (nil, nil) when the plan
+// clamps K to what the die holds — plus the bookkeeping that folds band
+// results back into one BatchResult per submitted job. Admission control
+// counts the expanded jobs: a K-sharded job occupies K queue slots.
+type expansion struct {
+	jobs   []BatchJob
+	shards []int                 // per job: 0 = plain path, >= 1 = shard path with K bands
+	pool   []batch.Job[*Outcome] // the flattened pool jobs
+	origin []jobOrigin           // pool index -> submitted job
+	states []*shardState         // per job; nil for plain jobs
+}
+
+// expand flattens one submission, deciding each job's effective shard count
+// (job knob, then service default, then the auto-shard byte threshold).
+func (s *Service) expand(jobs []BatchJob) *expansion {
+	e := &expansion{
+		jobs:   jobs,
+		shards: make([]int, len(jobs)),
+		states: make([]*shardState, len(jobs)),
+	}
+	for j := range jobs {
+		job := jobs[j]
+		k := s.effectiveShards(job)
+		e.shards[j] = k
+		if k == 0 {
+			e.pool = append(e.pool, job.job(s.generate))
+			e.origin = append(e.origin, jobOrigin{owner: j})
+			continue
+		}
+		st := &shardState{}
+		st.prep = sync.OnceValues(func() (*shardPrep, error) {
+			p, err := s.prepareShards(job, k)
+			if err == nil {
+				st.effective.Store(int32(len(p.plan.Bands)))
+			}
+			return p, err
+		})
+		e.states[j] = st
+		for b := 0; b < k; b++ {
+			e.pool = append(e.pool, bandJob(job, st, b))
+			e.origin = append(e.origin, jobOrigin{owner: j, band: b})
+		}
+	}
+	return e
+}
+
+// padding reports whether a band slot of job j is beyond the job's
+// effective band count — a padding slot the clamped plan never filled.
+// Before the split exists no slot is considered padding.
+func (e *expansion) padding(j, band int) bool {
+	st := e.states[j]
+	if st == nil {
+		return false
+	}
+	eff := int(st.effective.Load())
+	return eff > 0 && band >= eff
+}
+
+// effectiveShards resolves a job's shard count: the job's own knob, else
+// the service's WithShards default, else — when WithAutoShardBytes is set —
+// enough bands to bring each one's estimated footprint under the
+// threshold. Negative means explicitly unsharded.
+func (s *Service) effectiveShards(j BatchJob) int {
+	k := j.Shards
+	if k == 0 {
+		k = s.shards
+	}
+	if k == 0 && s.autoShardBytes > 0 {
+		if bytes := jobApproxBytes(j); bytes > s.autoShardBytes {
+			k = int((bytes + s.autoShardBytes - 1) / s.autoShardBytes)
+			if k > maxAutoShards {
+				k = maxAutoShards
+			}
+		}
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// jobApproxBytes estimates the job's layout footprint without generating
+// it: explicit layouts report their resident size, design references are
+// sized from the spec's scaled cell count. Unknown designs report 0 — the
+// job then takes the plain path and fails with the usual lookup error.
+func jobApproxBytes(j BatchJob) int64 {
+	if j.Layout != nil {
+		return j.Layout.ApproxBytes()
+	}
+	spec, ok := gen.ByName(j.Design)
+	if !ok {
+		return 0
+	}
+	return spec.ApproxBytes(j.effectiveScale())
+}
+
+// prepareShards resolves a sharded job's layout and splits it into its
+// band layouts.
+func (s *Service) prepareShards(job BatchJob, k int) (*shardPrep, error) {
+	l, err := job.resolveLayout(s.generate)
+	if err != nil {
+		return nil, err
+	}
+	halo := job.ShardHalo
+	if halo == 0 {
+		halo = s.shardHalo
+	}
+	if halo < 0 {
+		halo = 0
+	}
+	plan, err := shard.PlanBands(l, k, halo)
+	if err != nil {
+		return nil, fmt.Errorf("flex: shard plan: %w", err)
+	}
+	bands, err := shard.Split(l, plan)
+	if err != nil {
+		return nil, fmt.Errorf("flex: shard split: %w", err)
+	}
+	return &shardPrep{layout: l, plan: plan, bands: bands}, nil
+}
+
+// bandJob builds the pool closure for one band of a sharded job: wait for
+// the shared split, then run the job's engine phase (legalizeOnDevice, the
+// same recipe as a plain job) on this band. Bands beyond the clamped plan
+// return (nil, nil) and are dropped at fold time.
+func bandJob(job BatchJob, st *shardState, b int) batch.Job[*Outcome] {
+	return func(ctx context.Context) (*Outcome, error) {
+		p, err := st.prep()
+		if err != nil {
+			return nil, err
+		}
+		if b >= len(p.bands) {
+			return nil, nil
+		}
+		return job.legalizeOnDevice(ctx, p.bands[b])
+	}
+}
+
+// shardCollector folds the pool's completion-order results back into
+// submission-level BatchResults: plain jobs pass through as they land,
+// sharded jobs emit once their last band lands. It is driven from a single
+// goroutine (the batch's collecting loop), so it needs no locking.
+type shardCollector struct {
+	e       *expansion
+	pending [][]batch.Result[*Outcome] // per sharded job, one slot per band
+	got     []int
+	results []BatchResult // per submitted job, valid once emitted
+	sharded int           // jobs that took the shard path
+	onShard func(job int, r BatchResult)
+	emit    func(BatchResult)
+}
+
+func newShardCollector(e *expansion, onShard func(int, BatchResult), emit func(BatchResult)) *shardCollector {
+	c := &shardCollector{
+		e:       e,
+		pending: make([][]batch.Result[*Outcome], len(e.jobs)),
+		got:     make([]int, len(e.jobs)),
+		results: make([]BatchResult, len(e.jobs)),
+		onShard: onShard,
+		emit:    emit,
+	}
+	for j, k := range e.shards {
+		if k > 0 {
+			c.pending[j] = make([]batch.Result[*Outcome], k)
+			c.sharded++
+		}
+	}
+	return c
+}
+
+// observe consumes one pool result, emitting the owning job's BatchResult
+// when it becomes complete.
+func (c *shardCollector) observe(r batch.Result[*Outcome]) {
+	o := c.e.origin[r.Index]
+	j := o.owner
+	k := c.e.shards[j]
+	if k == 0 {
+		br := c.e.jobs[j].toResult(r)
+		br.Index = j
+		c.results[j] = br
+		c.emit(br)
+		return
+	}
+	c.pending[j][o.band] = r
+	c.got[j]++
+	// Padding slots (beyond the clamped plan) never surface: neither their
+	// successful (nil, nil) returns nor skips from a canceled batch are
+	// real bands.
+	if c.onShard != nil && !c.e.padding(j, o.band) && !(r.Value == nil && r.Err == nil) {
+		sr := c.e.jobs[j].toResult(r)
+		sr.Index = o.band
+		c.onShard(j, sr)
+	}
+	if c.got[j] == k {
+		br := c.fold(j)
+		c.results[j] = br
+		c.emit(br)
+	}
+}
+
+// fold merges one sharded job's band results: stitch the band layouts back
+// into the original die, re-measure quality against the original global
+// placement, take the slowest band's modeled seconds (the bands ran in
+// parallel), and sum the device statistics.
+func (c *shardCollector) fold(j int) BatchResult {
+	job := c.e.jobs[j]
+	rs := c.pending[j]
+	br := BatchResult{Index: j, Tag: job.Tag}
+	var firstErr, firstSkip error
+	for b, r := range rs {
+		// Padding slots beyond the clamped plan carry no band: skip them
+		// whether they completed with (nil, nil) or were canceled before
+		// starting — a skipped padding slot must not mark finished real
+		// bands as a skipped job.
+		if c.e.padding(j, b) || (r.Value == nil && r.Err == nil) {
+			continue
+		}
+		sr := job.toResult(r)
+		sr.Index = b
+		br.Shards = append(br.Shards, sr)
+		br.DeviceWait += r.DeviceWait
+		br.DeviceHold += r.DeviceHold
+		if r.Wall > br.Wall {
+			br.Wall = r.Wall
+		}
+		switch {
+		case IsBatchSkipped(r.Err):
+			if firstSkip == nil {
+				firstSkip = r.Err
+			}
+		case r.Err != nil:
+			if firstErr == nil {
+				firstErr = r.Err
+			}
+		}
+	}
+	if firstErr != nil {
+		br.Err = firstErr
+		return br
+	}
+	if firstSkip != nil {
+		br.Err = firstSkip
+		return br
+	}
+	// Every band succeeded, so the shared prep is memoized — this cannot
+	// generate or split anew.
+	p, err := c.e.states[j].prep()
+	if err != nil {
+		br.Err = err
+		return br
+	}
+	bandLayouts := make([]*model.Layout, len(p.plan.Bands))
+	legal := true
+	modeled := 0.0
+	for b := range p.plan.Bands {
+		o := rs[b].Value
+		bandLayouts[b] = o.Layout
+		if !o.Legal {
+			legal = false
+		}
+		if o.ModeledSeconds > modeled {
+			modeled = o.ModeledSeconds
+		}
+	}
+	stitched, err := shard.Stitch(p.layout, p.plan, bandLayouts)
+	if err != nil {
+		br.Err = fmt.Errorf("flex: shard stitch: %w", err)
+		return br
+	}
+	out := &Outcome{Engine: job.Engine, Layout: stitched}
+	out.Metrics = model.Measure(stitched)
+	out.Violations = stitched.Check(16)
+	out.Legal = legal && len(out.Violations) == 0
+	out.ModeledSeconds = modeled
+	br.Outcome = out
+	return br
+}
