@@ -4,10 +4,11 @@
 // Usage:
 //
 //	flexbench [-exp all|table1|table2|fig2a|fig2b|fig2c|fig2g|fig6g|fig8|fig9|fig10
-//	           |scalability|ordering|sharded]
+//	           |scalability|ordering|sharded|sched]
 //	          [-scale 0.02] [-designs name1,name2] [-threads 8] [-measure-original]
 //	          [-workers N] [-fpgas N] [-cache-mb M] [-repeat N]
 //	          [-shards K] [-shard-halo R]
+//	          [-sched priority|fifo] [-priority P] [-reconfig-ms D] [-sched-jobs J]
 //
 // -exp sharded runs the row-band sharding extension: each selected design
 // is split into -shards horizontal bands (with a -shard-halo seam window),
@@ -34,6 +35,22 @@
 // time and cache hit/miss deltas land on stderr). Caching never changes a
 // table — only where the layouts come from.
 //
+// -sched selects the pool's queue policy (priority, the default:
+// effective priority with aging, EDF within a level, weighted fair share;
+// fifo restores strict arrival order); -priority stamps every driver job's
+// class, and -reconfig-ms charges a modeled board-programming delay
+// whenever consecutive holders of one FPGA come from different jobs.
+// Scheduling never changes a rendered table — only wall-clock and the
+// stderr wait statistics move.
+//
+// -exp sched is the scheduling experiment: -sched-jobs identical FLEX jobs
+// per priority class (bulk 0, normal 4, urgent 8, submitted bulk-first —
+// the adversarial order for FIFO) contend for the shared workers and
+// boards; the table pins the deterministic class setup while per-class
+// p50/p99/max queue waits land on stderr. Under contention the priority
+// scheduler pulls the urgent class's p99 wait strictly below the bulk
+// class's; rerun with -sched fifo to watch the classes wait alike.
+//
 // Scheduling behaviour (device wait vs CPU overlap, cache hits vs misses)
 // is reported per driver and per repetition on stderr, leaving stdout
 // comparable across configurations.
@@ -53,6 +70,7 @@ import (
 	"github.com/flex-eda/flex/internal/batch"
 	"github.com/flex-eda/flex/internal/cache"
 	"github.com/flex-eda/flex/internal/experiments"
+	"github.com/flex-eda/flex/internal/sched"
 )
 
 // reportStats prints one driver's pool statistics — CPU overlap achieved by
@@ -76,10 +94,14 @@ func reportStats(name string, st batch.Stats) {
 		"%s: %d jobs / %d workers: wall %v, summed job wall %v (cpu overlap %.2fx); fpgas=%s: %d device acquires (%d contended), wait %v, hold %v\n",
 		name, st.Jobs, st.Workers, st.Wall, st.WorkWall, overlap,
 		fpgas, st.DeviceAcquires, st.DeviceContended, st.DeviceWait, st.DeviceHold)
+	if st.DeviceReconfigs > 0 && st.DeviceReconfigTime > 0 {
+		fmt.Fprintf(os.Stderr, "%s: %d board reconfigurations, %v modeled programming time\n",
+			name, st.DeviceReconfigs, st.DeviceReconfigTime.Round(time.Millisecond))
+	}
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig2a, fig2b, fig2c, fig2g, fig6g, fig8, fig9, fig10, scalability, ordering, sharded)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig2a, fig2b, fig2c, fig2g, fig6g, fig8, fig9, fig10, scalability, ordering, sharded, sched)")
 	scale := flag.Float64("scale", 0.02, "benchmark scale factor (1.0 = paper-size designs)")
 	designs := flag.String("designs", "", "comma-separated design filter (default: all 16)")
 	threads := flag.Int("threads", 8, "CPU baseline thread count")
@@ -90,13 +112,27 @@ func main() {
 	repeat := flag.Int("repeat", 1, "run the selected experiments N times on the same warm service")
 	shards := flag.Int("shards", 4, "row bands per design for -exp sharded (1 = single band through the shard machinery)")
 	shardHalo := flag.Int("shard-halo", 2, "seam-crossing reassignment window in rows for -exp sharded")
+	schedName := flag.String("sched", "priority", "queue policy for workers and boards (priority, fifo)")
+	priority := flag.Int("priority", 0, "scheduling priority stamped on every driver job (higher runs earlier)")
+	reconfigMS := flag.Int("reconfig-ms", 0, "modeled FPGA reconfiguration delay in ms when consecutive board holders differ (0 = counted, free)")
+	schedJobs := flag.Int("sched-jobs", 8, "jobs per priority class for -exp sched")
 	flag.Parse()
+
+	policy, err := sched.ParsePolicy(*schedName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	// One shared service per invocation: every driver batch runs on this
 	// pool, and (with -cache-mb) resolves generated layouts through this
 	// cache — so repeated designs, within a repetition and across -repeat
 	// runs, are built once.
-	pool := batch.NewPool(batch.PoolConfig{Workers: *workers, FPGAs: *fpgas})
+	pool := batch.NewPool(batch.PoolConfig{
+		Workers: *workers, FPGAs: *fpgas,
+		Policy:       policy,
+		ReconfigCost: time.Duration(*reconfigMS) * time.Millisecond,
+	})
 	defer pool.Close()
 	var layouts *cache.LRU
 	if *cacheMB > 0 {
@@ -111,6 +147,7 @@ func main() {
 		FPGAs:           *fpgas,
 		Pool:            pool,
 		Layouts:         layouts,
+		Priority:        *priority,
 	}
 	if *designs != "" {
 		opt.Designs = strings.Split(*designs, ",")
@@ -243,6 +280,30 @@ func main() {
 				return nil
 			})
 		}
+		if *exp == "sched" {
+			ran = true
+			fmt.Println("==> sched")
+			runWithStats("sched", func(o experiments.Options) error {
+				pts, err := experiments.Sched(o, *schedJobs)
+				if err != nil {
+					return err
+				}
+				experiments.RenderSched(pts).Render(os.Stdout)
+				// Wait distributions are wall-clock scheduling facts: they
+				// belong on stderr, keeping stdout byte-comparable across
+				// -sched/-workers/-fpgas configurations.
+				for _, p := range pts {
+					fmt.Fprintf(os.Stderr,
+						"sched class %s (prio %d): %d jobs, queue wait p50 %v p99 %v max %v, fpga wait %v\n",
+						p.Label, p.Priority, p.Jobs,
+						p.P50Wait.Round(time.Millisecond),
+						p.P99Wait.Round(time.Millisecond),
+						p.MaxWait.Round(time.Millisecond),
+						p.DeviceWait.Round(time.Millisecond))
+				}
+				return nil
+			})
+		}
 		if *exp == "sharded" {
 			ran = true
 			fmt.Println("==> sharded")
@@ -290,7 +351,7 @@ func main() {
 	if !ran {
 		// A typoed -exp must not succeed vacuously — it would turn the
 		// CI byte-compare gate into cmp of two empty files.
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, table1, table2, fig2a, fig2b, fig2c, fig2g, fig6g, fig8, fig9, fig10, scalability, ordering, sharded)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, table1, table2, fig2a, fig2b, fig2c, fig2g, fig6g, fig8, fig9, fig10, scalability, ordering, sharded, sched)\n", *exp)
 		os.Exit(2)
 	}
 }

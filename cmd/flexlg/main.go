@@ -6,6 +6,8 @@
 //	flexlg -engine flex|mgl|mgl-mt|gpu|analytical|all [-threads 8]
 //	       [-workers N] [-fpgas N] [-cache-mb M]
 //	       [-shards K] [-shard-halo R]
+//	       [-sched priority|fifo] [-priority P | P1,P2,...] [-client NAME]
+//	       [-deadline-ms D] [-reconfig-ms D]
 //	       [-in design.flexpl | -design name [-scale 0.02]]
 //	       [-out legal.flexpl]
 //
@@ -28,6 +30,17 @@
 // unsharded path; 0, the default, skips it). Per-shard progress lands on
 // stderr as each band finishes; stdout reports only the stitched result,
 // so it stays comparable across shard counts' schedules.
+//
+// -sched picks the service's queue policy (priority, the default, or
+// fifo); -priority assigns each engine job's scheduling class — one value
+// for every job, or a comma-separated list matching the engine list, so a
+// multi-engine run can interleave priorities. -client submits under a
+// tenant identity, -deadline-ms sets a relative completion target (a job
+// still queued when it expires fails fast with a deadline error), and
+// -reconfig-ms charges the modeled board-programming delay between
+// different jobs' device phases. Scheduling changes only when jobs run:
+// stdout and -out stay byte-identical across -sched and -priority
+// assignments.
 package main
 
 import (
@@ -36,6 +49,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -79,6 +93,37 @@ func parseEngines(s string) ([]flex.Engine, []string, error) {
 	return engines, clean, nil
 }
 
+// parsePriorities expands the -priority flag for n jobs: empty = all zero,
+// a single integer broadcasts, a comma-separated list must match n.
+func parsePriorities(s string, n int) ([]int, error) {
+	out := make([]int, n)
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) == 1 {
+		p, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, fmt.Errorf("invalid -priority %q", s)
+		}
+		for i := range out {
+			out[i] = p
+		}
+		return out, nil
+	}
+	if len(parts) != n {
+		return nil, fmt.Errorf("-priority lists %d values for %d engine jobs", len(parts), n)
+	}
+	for i, part := range parts {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("invalid -priority entry %q at position %d", part, i+1)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
 func main() {
 	engineList := flag.String("engine", "flex", "engine: flex, mgl, mgl-mt, gpu, analytical; comma-separated list or \"all\" compares engines")
 	threads := flag.Int("threads", 8, "threads for mgl-mt")
@@ -87,6 +132,11 @@ func main() {
 	cacheMB := flag.Int("cache-mb", 0, "service layout-cache budget in MiB for -design jobs (0 = off)")
 	shards := flag.Int("shards", 0, "row bands per job, legalized independently and stitched (0 = unsharded)")
 	shardHalo := flag.Int("shard-halo", 0, "seam-crossing reassignment window in rows (0 = library default)")
+	schedName := flag.String("sched", "priority", "service queue policy (priority, fifo)")
+	priorityList := flag.String("priority", "", "scheduling priority per job: one integer for all, or a comma list matching the engine list")
+	client := flag.String("client", "", "tenant identity the jobs submit under")
+	deadlineMS := flag.Int64("deadline-ms", 0, "relative completion deadline in ms; expired queued jobs fail fast (0 = none)")
+	reconfigMS := flag.Int("reconfig-ms", 0, "modeled FPGA reconfiguration delay in ms between different jobs' device phases (0 = counted, free)")
 	in := flag.String("in", "", "input flexpl file (default: generated demo)")
 	design := flag.String("design", "", "built-in benchmark name to generate instead of -in (see flexbench -designs)")
 	scale := flag.Float64("scale", 0.02, "generation scale for -design (1.0 = paper size)")
@@ -99,6 +149,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	scheduler, err := flex.ParseScheduler(*schedName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	priorities, err := parsePriorities(*priorityList, len(engines))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var deadline time.Time
+	if *deadlineMS < 0 {
+		fmt.Fprintln(os.Stderr, "flexlg: -deadline-ms must be >= 0")
+		os.Exit(2)
+	} else if *deadlineMS > 0 {
+		deadline = time.Now().Add(time.Duration(*deadlineMS) * time.Millisecond)
 	}
 	if *in != "" && *design != "" {
 		fmt.Fprintln(os.Stderr, "flexlg: -in and -design are mutually exclusive")
@@ -153,6 +220,9 @@ func main() {
 			Tag:       names[i],
 			Shards:    *shards,
 			ShardHalo: *shardHalo,
+			Priority:  priorities[i],
+			Deadline:  deadline,
+			Client:    *client,
 		}
 	}
 	// Stream a progress line per job in completion order on stderr; the
@@ -193,7 +263,9 @@ func main() {
 	// board pool, and (with -cache-mb) the layout cache that -design jobs
 	// resolve through.
 	svc := flex.NewService(flex.WithWorkers(*workers), flex.WithFPGAs(*fpgas),
-		flex.WithCacheBytes(int64(*cacheMB)<<20))
+		flex.WithCacheBytes(int64(*cacheMB)<<20),
+		flex.WithScheduler(scheduler),
+		flex.WithReconfigCost(time.Duration(*reconfigMS)*time.Millisecond))
 	defer svc.Close()
 	sum, err := svc.Submit(context.Background(), jobs, flex.SubmitOptions{OnResult: progress, OnShard: shardProgress})
 	if err != nil {
@@ -234,10 +306,14 @@ func main() {
 		if sum.FPGAs > 0 {
 			fpgaDesc = fmt.Sprintf("%d fpgas", sum.FPGAs)
 		}
-		fmt.Printf("batch:           %d engines, %d workers, %s, wall %v (summed job wall %v, fpga wait %v)\n",
+		// Wall clocks, queue waits and reconfigurations are scheduling
+		// observations: stderr, so stdout stays byte-identical across
+		// workers × fpgas × scheduler configurations.
+		fmt.Fprintf(os.Stderr, "batch: %d engines, %d workers, %s, wall %v (summed job wall %v, sched wait %v, fpga wait %v, %d reconfigs)\n",
 			len(sum.Results), sum.Workers, fpgaDesc,
 			sum.Wall.Round(time.Millisecond), sum.WorkWall.Round(time.Millisecond),
-			sum.DeviceWait.Round(time.Millisecond))
+			sum.SchedWait.Round(time.Millisecond),
+			sum.DeviceWait.Round(time.Millisecond), sum.Reconfigs)
 	}
 
 	if *out != "" {

@@ -8,6 +8,8 @@
 //	flexserve [-addr :8080] [-workers N] [-fpgas N]
 //	          [-cache-mb 256] [-queue-depth 1024] [-max-body-mb 64]
 //	          [-max-scale 0.2] [-max-shards 64] [-auto-shard-mb 0]
+//	          [-sched priority|fifo] [-client-quota 0] [-client-queue-depth 0]
+//	          [-reconfig-ms 0]
 //
 // API:
 //
@@ -23,13 +25,23 @@
 //	    stitched into one result line; -auto-shard-mb M shards any job
 //	    whose layout footprint exceeds M MiB even when it doesn't ask.
 //	    Each band occupies one admission slot.
+//	    Jobs may carry scheduling fields: "priority" (higher runs earlier,
+//	    in [-100, 100]; the default scheduler ages waiting jobs so low
+//	    priorities never starve), "deadlineMs" (relative completion
+//	    target; a job still queued when it expires fails fast in its
+//	    result line), and "client" (the tenant quotas, fair sharing and
+//	    per-client admission key off). Unknown JSON fields are rejected
+//	    with a 400 naming the field.
 //	    Streams NDJSON: one result line per job in completion order, then
 //	    {"done":true,...}. 400 on malformed payloads, 413 on oversized
 //	    bodies, 429 when the queue is full (admission control), 503 while
 //	    shutting down. The 429 carries Retry-After derived from current
 //	    queue occupancy — ceil(queuedJobs/workers) seconds, clamped to
 //	    [1, 60]; /v1/stats exposes the same estimate as
-//	    retryAfterSeconds next to queuedJobs.
+//	    retryAfterSeconds next to queuedJobs. With -client-queue-depth, a
+//	    single tenant over its own admission bound gets a per-client 429
+//	    (other tenants keep submitting) whose Retry-After reflects that
+//	    tenant's backlog.
 //	GET /v1/stats    — cumulative service statistics (jobs, cache hit
 //	                   rate, device contention) as JSON.
 //	GET /healthz     — liveness probe.
@@ -61,14 +73,27 @@ func main() {
 	maxScale := flag.Float64("max-scale", 0.2, "largest generation scale a design job may request")
 	maxShards := flag.Int("max-shards", 64, "largest per-job shard count a request may ask for")
 	autoShardMB := flag.Int("auto-shard-mb", 0, "auto-shard jobs whose layout footprint exceeds this many MiB (0 = off)")
+	schedName := flag.String("sched", "priority", "queue policy for workers and boards (priority, fifo)")
+	clientQuota := flag.Int("client-quota", 0, "max concurrently running jobs per client (0 = unlimited)")
+	clientQueueDepth := flag.Int("client-queue-depth", 0, "per-client admission bound on queued+running jobs; exceeding it returns a per-client 429 (0 = unbounded)")
+	reconfigMS := flag.Int("reconfig-ms", 0, "modeled FPGA reconfiguration delay in ms when consecutive board holders differ (0 = counted, free)")
 	flag.Parse()
 
+	scheduler, err := flex.ParseScheduler(*schedName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	svc := flex.NewService(
 		flex.WithWorkers(*workers),
 		flex.WithFPGAs(*fpgas),
 		flex.WithCacheBytes(int64(*cacheMB)<<20),
 		flex.WithQueueDepth(*queueDepth),
 		flex.WithAutoShardBytes(int64(*autoShardMB)<<20),
+		flex.WithScheduler(scheduler),
+		flex.WithClientQuota(*clientQuota),
+		flex.WithClientQueueDepth(*clientQueueDepth),
+		flex.WithReconfigCost(time.Duration(*reconfigMS)*time.Millisecond),
 	)
 	srv := &http.Server{
 		Addr:              *addr,
@@ -80,8 +105,9 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "flexserve: listening on %s (workers=%d fpgas=%d cache=%dMiB queue=%d)\n",
-		*addr, svc.Stats().Workers, *fpgas, *cacheMB, *queueDepth)
+	fmt.Fprintf(os.Stderr, "flexserve: listening on %s (workers=%d fpgas=%d cache=%dMiB queue=%d sched=%s client-quota=%d client-queue=%d reconfig=%dms)\n",
+		*addr, svc.Stats().Workers, *fpgas, *cacheMB, *queueDepth,
+		scheduler, *clientQuota, *clientQueueDepth, *reconfigMS)
 
 	select {
 	case err := <-errc:

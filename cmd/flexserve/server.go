@@ -29,6 +29,19 @@ type jobRequest struct {
 	Shards int `json:"shards,omitempty"`
 	// Halo is the sharding seam window in rows (0 = library default).
 	Halo int `json:"halo,omitempty"`
+	// Priority orders the job against everything else queued on the
+	// service (higher runs earlier; bounded to [-100, 100]). The default
+	// scheduler ages waiting jobs, so low priorities are delayed, never
+	// starved.
+	Priority int `json:"priority,omitempty"`
+	// DeadlineMs is a relative completion target in milliseconds from
+	// request arrival; a job still queued when it expires fails fast in
+	// its result line instead of running. 0 = no deadline.
+	DeadlineMs int64 `json:"deadlineMs,omitempty"`
+	// Client is the submitting tenant: per-client quotas, fair sharing,
+	// and the per-client admission bound (429) key off it. Empty is the
+	// shared anonymous client.
+	Client string `json:"client,omitempty"`
 }
 
 // legalizeRequest is the POST /v1/legalize body.
@@ -60,8 +73,13 @@ type resultLine struct {
 	DeviceHoldMs   float64 `json:"deviceHoldMs,omitempty"`
 	// Shards is the effective band count of a sharded job (the plan may
 	// clamp the requested count to what the die holds); 0 for unsharded.
-	Shards int    `json:"shards,omitempty"`
-	Layout string `json:"layout,omitempty"`
+	Shards int `json:"shards,omitempty"`
+	// SchedWaitMs is the time the job queued for a worker under the
+	// service's scheduler; Reconfigs counts modeled board
+	// reprogrammings its FPGA acquisitions incurred.
+	SchedWaitMs float64 `json:"schedWaitMs,omitempty"`
+	Reconfigs   int     `json:"reconfigs,omitempty"`
+	Layout      string  `json:"layout,omitempty"`
 }
 
 // summaryLine closes every NDJSON stream.
@@ -98,19 +116,38 @@ type statsResponse struct {
 	// now would carry — ceil(queuedJobs / workers) seconds, clamped to
 	// [1, 60] — so clients can see the congestion estimate before
 	// tripping it.
-	QueuedJobs        int     `json:"queuedJobs"`
-	RetryAfterSeconds int     `json:"retryAfterSeconds"`
-	CacheHits         int64   `json:"cacheHits"`
-	CacheMisses       int64   `json:"cacheMisses"`
-	CacheHitRate      float64 `json:"cacheHitRate"`
-	CacheEvictions    int64   `json:"cacheEvictions"`
-	CacheEntries      int     `json:"cacheEntries"`
-	CacheBytes        int64   `json:"cacheBytes"`
-	CacheMaxBytes     int64   `json:"cacheMaxBytes"`
-	DeviceWaitMs      float64 `json:"deviceWaitMs"`
-	DeviceHoldMs      float64 `json:"deviceHoldMs"`
-	DeviceAcquires    int     `json:"deviceAcquires"`
-	DeviceContended   int     `json:"deviceContended"`
+	QueuedJobs        int `json:"queuedJobs"`
+	RetryAfterSeconds int `json:"retryAfterSeconds"`
+	// Scheduler names the active queue policy; queuedByPriority buckets
+	// the jobs currently waiting for a worker by priority level (JSON
+	// object keyed by the decimal level), and queuedByClient/
+	// runningByClient give the per-tenant picture the quotas act on.
+	Scheduler        string         `json:"scheduler"`
+	QueuedByPriority map[string]int `json:"queuedByPriority"`
+	QueuedByClient   map[string]int `json:"queuedByClient"`
+	RunningByClient  map[string]int `json:"runningByClient"`
+	// ClientQuota/ClientQueueDepth echo the per-client bounds (0 =
+	// unlimited); clientOverloaded counts submissions a per-client bound
+	// rejected with 429.
+	ClientQuota      int   `json:"clientQuota"`
+	ClientQueueDepth int   `json:"clientQueueDepth"`
+	ClientOverloaded int64 `json:"clientOverloaded"`
+	// ReconfigMs is the modeled board-programming delay per configuration
+	// swap; reconfigs/reconfigTimeMs total the swaps charged so far.
+	ReconfigMs      float64 `json:"reconfigMs"`
+	Reconfigs       int     `json:"reconfigs"`
+	ReconfigTimeMs  float64 `json:"reconfigTimeMs"`
+	CacheHits       int64   `json:"cacheHits"`
+	CacheMisses     int64   `json:"cacheMisses"`
+	CacheHitRate    float64 `json:"cacheHitRate"`
+	CacheEvictions  int64   `json:"cacheEvictions"`
+	CacheEntries    int     `json:"cacheEntries"`
+	CacheBytes      int64   `json:"cacheBytes"`
+	CacheMaxBytes   int64   `json:"cacheMaxBytes"`
+	DeviceWaitMs    float64 `json:"deviceWaitMs"`
+	DeviceHoldMs    float64 `json:"deviceHoldMs"`
+	DeviceAcquires  int     `json:"deviceAcquires"`
+	DeviceContended int     `json:"deviceContended"`
 }
 
 // server is the HTTP front end over one long-lived flex.Service.
@@ -119,6 +156,7 @@ type server struct {
 	maxBody   int64
 	maxScale  float64
 	maxShards int
+	workers   int             // the service's fixed pool size
 	knownSet  map[string]bool // valid design names, for up-front 400s
 }
 
@@ -139,7 +177,11 @@ func newServer(svc *flex.Service, maxBody int64, maxScale float64, maxShards int
 	if maxShards <= 0 {
 		maxShards = 64
 	}
-	s := &server{svc: svc, maxBody: maxBody, maxScale: maxScale, maxShards: maxShards, knownSet: map[string]bool{}}
+	s := &server{
+		svc: svc, maxBody: maxBody, maxScale: maxScale, maxShards: maxShards,
+		workers:  svc.Stats().Workers,
+		knownSet: map[string]bool{},
+	}
 	for _, d := range flex.Designs() {
 		s.knownSet[d] = true
 	}
@@ -162,12 +204,17 @@ func (s *server) parseJobs(r *http.Request) ([]flex.BatchJob, legalizeRequest, e
 	var req legalizeRequest
 	ct := r.Header.Get("Content-Type")
 	if strings.Contains(ct, "json") {
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		// Unknown fields are typos until proven otherwise: a client
+		// writing "prioritee" must get a 400 naming the field, not a
+		// silently deprioritized job.
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
 			return nil, req, fmt.Errorf("invalid JSON body: %w", err)
 		}
 	} else {
-		// A raw flexpl payload: one job, engine/tag/shards/halo from query
-		// params.
+		// A raw flexpl payload: one job; engine/tag/shards/halo/priority/
+		// client/deadlineMs come from query params.
 		l, err := flex.ReadLayout(r.Body)
 		if err != nil {
 			return nil, req, fmt.Errorf("invalid flexpl payload: %w", err)
@@ -184,9 +231,19 @@ func (s *server) parseJobs(r *http.Request) ([]flex.BatchJob, legalizeRequest, e
 		if err != nil {
 			return nil, req, err
 		}
+		priority, err := parsePriority(r.URL.Query().Get("priority"))
+		if err != nil {
+			return nil, req, err
+		}
+		deadline, err := parseDeadlineMs(r.URL.Query().Get("deadlineMs"))
+		if err != nil {
+			return nil, req, err
+		}
 		return []flex.BatchJob{{
 			Layout: l, Engine: e, Tag: r.URL.Query().Get("tag"),
 			Shards: shards, ShardHalo: halo,
+			Priority: priority, Deadline: deadline,
+			Client: r.URL.Query().Get("client"),
 		}}, req, nil
 	}
 	if len(req.Jobs) == 0 {
@@ -204,6 +261,13 @@ func (s *server) parseJobs(r *http.Request) ([]flex.BatchJob, legalizeRequest, e
 		if jr.Halo < 0 {
 			return nil, req, fmt.Errorf("job %d: halo must be >= 0, got %d", i, jr.Halo)
 		}
+		if jr.Priority < -maxPriority || jr.Priority > maxPriority {
+			return nil, req, fmt.Errorf("job %d: priority must be in [%d, %d], got %d",
+				i, -maxPriority, maxPriority, jr.Priority)
+		}
+		if jr.DeadlineMs < 0 {
+			return nil, req, fmt.Errorf("job %d: deadlineMs must be >= 0, got %d", i, jr.DeadlineMs)
+		}
 		j := flex.BatchJob{
 			Engine:    e,
 			Options:   flex.Options{Threads: jr.Threads},
@@ -211,6 +275,13 @@ func (s *server) parseJobs(r *http.Request) ([]flex.BatchJob, legalizeRequest, e
 			Scale:     jr.Scale,
 			Shards:    jr.Shards,
 			ShardHalo: jr.Halo,
+			Priority:  jr.Priority,
+			Client:    jr.Client,
+		}
+		if jr.DeadlineMs > 0 {
+			// Relative on the wire, absolute in the scheduler: the clock
+			// starts at request arrival.
+			j.Deadline = time.Now().Add(time.Duration(jr.DeadlineMs) * time.Millisecond)
 		}
 		switch {
 		case jr.Layout != "" && jr.Design != "":
@@ -276,6 +347,57 @@ func parseHalo(v string) (int, error) {
 	return n, nil
 }
 
+// maxPriority bounds the priority a request may claim, so no client can
+// out-age every other tenant with an astronomic level.
+const maxPriority = 100
+
+// parsePriority maps an optional priority query parameter ("" = 0).
+func parsePriority(v string) (int, error) {
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < -maxPriority || n > maxPriority {
+		return 0, fmt.Errorf("priority must be an integer in [%d, %d], got %q", -maxPriority, maxPriority, v)
+	}
+	return n, nil
+}
+
+// parseDeadlineMs maps an optional relative deadline query parameter
+// ("" or "0" = none) to the absolute deadline the scheduler uses.
+func parseDeadlineMs(v string) (time.Time, error) {
+	if v == "" {
+		return time.Time{}, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 0 {
+		return time.Time{}, fmt.Errorf("deadlineMs must be a non-negative integer, got %q", v)
+	}
+	if n == 0 {
+		return time.Time{}, nil
+	}
+	return time.Now().Add(time.Duration(n) * time.Millisecond), nil
+}
+
+// clientRetryAfterSeconds is the per-client congestion estimate behind a
+// per-client 429: the rejected client's own admitted backlog over the
+// worker pool, clamped like the global estimate. It is honest in the sense
+// that it derives from that client's actual queue occupancy at rejection
+// time, not a fixed pause.
+func (s *server) clientRetryAfterSeconds(client string) int {
+	secs := 1
+	if s.workers > 0 {
+		secs = (s.svc.ClientQueued(client) + s.workers - 1) / s.workers
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
 // retryAfterSeconds derives the 429 Retry-After value from current queue
 // occupancy: with Q jobs admitted (queued + running, each band of a sharded
 // job counted separately) over W workers, a client retrying after ~Q/W
@@ -316,7 +438,16 @@ func (s *server) handleLegalize(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	ch, err := s.svc.Stream(r.Context(), jobs, flex.SubmitOptions{FailFast: req.FailFast})
+	var clientErr *flex.ClientOverloadedError
 	switch {
+	case errors.As(err, &clientErr):
+		// Per-client shedding: this tenant is over its admission bound
+		// while others keep submitting. Retry-After reflects the tenant's
+		// own backlog.
+		w.Header().Set("Retry-After", strconv.Itoa(s.clientRetryAfterSeconds(clientErr.Client)))
+		writeJSONError(w, http.StatusTooManyRequests,
+			"client %q overloaded: per-client queue full", clientErr.Client)
+		return
 	case errors.Is(err, flex.ErrOverloaded):
 		// Retry-After scales with how deep the queue currently is — see
 		// retryAfterSeconds for the estimate's meaning.
@@ -358,8 +489,10 @@ func (s *server) handleLegalize(w http.ResponseWriter, r *http.Request) {
 			line.MaxDis = o.Metrics.MaxDis
 			line.ModeledSeconds = o.ModeledSeconds
 			line.WallMs = ms(res.Wall)
+			line.SchedWaitMs = ms(res.SchedWait)
 			line.DeviceWaitMs = ms(res.DeviceWait)
 			line.DeviceHoldMs = ms(res.DeviceHold)
+			line.Reconfigs = res.DeviceReconfigs
 			line.Shards = len(res.Shards)
 			sum.ModeledSeconds += o.ModeledSeconds
 			if req.IncludeLayout {
@@ -388,6 +521,10 @@ func (s *server) handleLegalize(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.svc.Stats()
 	w.Header().Set("Content-Type", "application/json")
+	byPriority := make(map[string]int, len(st.QueuedByPriority))
+	for p, n := range st.QueuedByPriority {
+		byPriority[strconv.Itoa(p)] = n
+	}
 	json.NewEncoder(w).Encode(statsResponse{
 		Batches: st.Batches, Jobs: st.Jobs, Errors: st.Errors,
 		Skipped: st.Skipped, Overloaded: st.Overloaded,
@@ -395,6 +532,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Workers:     st.Workers, FPGAs: st.FPGAs, QueueDepth: st.QueueDepth,
 		QueuedJobs:        st.QueuedJobs,
 		RetryAfterSeconds: retryAfterSeconds(st),
+		Scheduler:         st.Scheduler,
+		QueuedByPriority:  byPriority,
+		QueuedByClient:    st.QueuedByClient,
+		RunningByClient:   st.RunningByClient,
+		ClientQuota:       st.ClientQuota,
+		ClientQueueDepth:  st.ClientQueueDepth,
+		ClientOverloaded:  st.ClientOverloaded,
+		ReconfigMs:        ms(st.ReconfigCost),
+		Reconfigs:         st.Reconfigs,
+		ReconfigTimeMs:    ms(st.ReconfigTime),
 		CacheHits:         st.CacheHits, CacheMisses: st.CacheMisses,
 		CacheHitRate:   st.CacheHitRate(),
 		CacheEvictions: st.CacheEvictions, CacheEntries: st.CacheEntries,

@@ -35,6 +35,7 @@ import (
 	"github.com/flex-eda/flex/internal/mgl"
 	"github.com/flex-eda/flex/internal/model"
 	"github.com/flex-eda/flex/internal/perf"
+	"github.com/flex-eda/flex/internal/sched"
 )
 
 // Core data-model vocabulary, re-exported for API users.
@@ -237,6 +238,25 @@ type BatchJob struct {
 	// strictly shrinks its forced displacement. 0 defers to the service
 	// default (DefaultShardHalo); negative disables the halo.
 	ShardHalo int
+	// Priority orders the job against everything else waiting on the
+	// service: higher runs earlier. Levels are small integers around 0
+	// (negative = background). Under the default scheduler a waiting job
+	// gains one effective level per aging step, so low priorities are
+	// delayed, never starved. Scheduling moves only when the job runs —
+	// results stay byte-identical for any priority assignment.
+	Priority int
+	// Deadline, when non-zero, is the job's absolute completion target:
+	// within one priority level the earliest deadline is scheduled first,
+	// and a job whose deadline has already passed when a worker picks it
+	// up fails fast with ErrDeadlineExceeded without running.
+	Deadline time.Time
+	// Client is the submitting tenant. The service's scheduler spreads
+	// capacity across clients (weighted fair sharing), caps one client's
+	// concurrently running jobs (WithClientQuota), and bounds one client's
+	// admitted jobs (WithClientQueueDepth — exceeding it rejects the batch
+	// with ErrClientOverloaded). Empty is the shared anonymous client. A
+	// sharded job's bands all carry the owner's client.
+	Client string
 }
 
 // NeedsFPGA reports the job's accelerator requirement: FLEX occupies the
@@ -277,16 +297,26 @@ type BatchResult struct {
 	// Outcome is the finished legalization (nil when Err is set).
 	Outcome *Outcome
 	// Err is this job's failure, if any. Jobs that never started because
-	// the batch was canceled report an error matched by IsBatchSkipped.
+	// the batch was canceled report an error matched by IsBatchSkipped;
+	// jobs whose deadline expired before they could start report
+	// ErrDeadlineExceeded.
 	Err error
 	// Wall is the job's own wall-clock time.
 	Wall time.Duration
+	// SchedWait is the time the job spent queued for a worker under the
+	// service's scheduler (for sharded jobs, summed over the bands) — the
+	// per-class latency signal the sched experiment measures.
+	SchedWait time.Duration
 	// DeviceWait is the time the job queued for a modeled FPGA board;
 	// DeviceHold is the time it occupied one. Zero for CPU-only engines.
 	// For sharded jobs both sum over the bands, while Wall is the slowest
 	// band's (the bands ran concurrently).
 	DeviceWait time.Duration
 	DeviceHold time.Duration
+	// DeviceReconfigs counts board acquisitions that reprogrammed their
+	// board because its previous holder ran a different job (summed over a
+	// sharded job's bands; bands of one job share a configuration).
+	DeviceReconfigs int
 	// Shards holds a sharded job's per-band results in band order (bottom
 	// to top; Index is the band index), nil for unsharded jobs. Outcome is
 	// then the stitched whole-die result with metrics re-measured against
@@ -312,7 +342,9 @@ type BatchSummary struct {
 	Wall     time.Duration
 	WorkWall time.Duration
 	// ModeledSeconds sums the deterministic modeled runtime of every
-	// successful job — the batch's total simulated accelerator time.
+	// successful job — the batch's total simulated accelerator time —
+	// plus ReconfigSeconds, the modeled board-programming overhead the
+	// schedule incurred (zero unless WithReconfigCost is set).
 	ModeledSeconds float64
 	// FPGAs is the modeled board count the batch ran with (0 = unlimited).
 	// DeviceWait sums the time FPGA jobs queued for a board; DeviceHold
@@ -322,6 +354,15 @@ type BatchSummary struct {
 	FPGAs      int
 	DeviceWait time.Duration
 	DeviceHold time.Duration
+	// SchedWait sums the time the batch's jobs queued for a worker.
+	SchedWait time.Duration
+	// Reconfigs counts board reconfigurations the batch's jobs incurred
+	// (the board's previous holder ran a different job); ReconfigSeconds
+	// is the modeled programming time charged for them. Unlike the
+	// engines' modeled seconds these depend on the schedule — they
+	// describe the run, not the design.
+	Reconfigs       int
+	ReconfigSeconds float64
 }
 
 // effectiveScale resolves the job's scale with the BatchJob convention:
@@ -378,7 +419,9 @@ func (j BatchJob) toResult(r batch.Result[*Outcome]) BatchResult {
 	return BatchResult{
 		Index: r.Index, Tag: j.Tag,
 		Outcome: r.Value, Err: r.Err, Wall: r.Wall,
+		SchedWait:  r.SchedWait,
 		DeviceWait: r.DeviceWait, DeviceHold: r.DeviceHold,
+		DeviceReconfigs: r.DeviceReconfigs,
 	}
 }
 
@@ -431,6 +474,12 @@ func LegalizeBatchStream(ctx context.Context, jobs []BatchJob, opt BatchOptions)
 // IsBatchSkipped reports whether a BatchResult's error means the job never
 // started because the batch was canceled (context or fail-fast).
 func IsBatchSkipped(err error) bool { return errors.Is(err, batch.ErrSkipped) }
+
+// ErrDeadlineExceeded marks a job whose BatchJob.Deadline passed before the
+// scheduler could start it: the job fails fast without running its engine,
+// so an already-hopeless request never occupies a worker or a board. Match
+// it with errors.Is on a BatchResult's Err.
+var ErrDeadlineExceeded = sched.ErrDeadlineExceeded
 
 // Designs lists the available benchmark names: the 16 IC/CAD 2017 designs
 // of the paper's Table 1 plus the two superblue-scale designs of Fig. 2(b).

@@ -19,6 +19,8 @@ import (
 	"errors"
 	"runtime"
 	"time"
+
+	"github.com/flex-eda/flex/internal/sched"
 )
 
 // ErrSkipped marks a job that never started because the batch was canceled
@@ -38,16 +40,26 @@ type Result[T any] struct {
 	Err   error
 	// Wall is the job's own wall-clock time (zero for skipped jobs).
 	Wall time.Duration
+	// SchedWait is the time the job spent queued for a worker — between
+	// entering the pool's scheduling queue and a worker picking it up. The
+	// per-class wait distributions of the sched experiment come from it.
+	SchedWait time.Duration
 	// DeviceWait is the time the job queued for the shared accelerator
 	// (Options.Device); DeviceHold is the time it occupied a board. Both
 	// are zero for CPU-only jobs and for batches without a device.
 	DeviceWait time.Duration
 	DeviceHold time.Duration
+	// DeviceReconfigs counts the job's board acquisitions that had to
+	// reprogram the board because its previous holder ran a different job
+	// (first-ever board use included).
+	DeviceReconfigs int
 	// deviceAcquires/deviceContended count the job's board acquisitions
 	// (and how many had to wait), so batch stats stay exact per batch even
-	// on a pool shared by concurrent batches.
-	deviceAcquires  int
-	deviceContended int
+	// on a pool shared by concurrent batches; deviceReconfigTime is the
+	// modeled programming time its reconfigurations charged.
+	deviceAcquires     int
+	deviceContended    int
+	deviceReconfigTime time.Duration
 	// aborted marks a cancellation-shaped error returned while the batch
 	// context was already canceled: the batch cut the job short, as
 	// opposed to a job-owned sub-context timing out on a healthy batch.
@@ -97,17 +109,24 @@ type Stats struct {
 	// (per-job wall includes CPU contention when workers exceed cores).
 	Wall     time.Duration
 	WorkWall time.Duration
+	// SchedWait sums per-job queue time for a worker — how long the
+	// batch's jobs sat in the scheduling queue in total.
+	SchedWait time.Duration
 	// Device aggregates across jobs when Options.Device was set: FPGAs is
 	// the modeled board count, DeviceWait/DeviceHold sum per-job queueing
 	// and occupancy, and DeviceAcquires/DeviceContended count token
 	// acquisitions (total, and those that had to wait). DeviceWait > 0
 	// with WorkWall > Wall is the shared-board signature: accelerator
-	// phases serialized while CPU work kept overlapping.
-	FPGAs           int
-	DeviceWait      time.Duration
-	DeviceHold      time.Duration
-	DeviceAcquires  int
-	DeviceContended int
+	// phases serialized while CPU work kept overlapping. DeviceReconfigs
+	// counts acquisitions that reprogrammed their board (holder changed);
+	// DeviceReconfigTime is the modeled programming time charged for them.
+	FPGAs              int
+	DeviceWait         time.Duration
+	DeviceHold         time.Duration
+	DeviceAcquires     int
+	DeviceContended    int
+	DeviceReconfigs    int
+	DeviceReconfigTime time.Duration
 }
 
 // Add accumulates another run's stats, for callers that aggregate several
@@ -122,6 +141,7 @@ func (s *Stats) Add(o Stats) {
 	}
 	s.Wall += o.Wall
 	s.WorkWall += o.WorkWall
+	s.SchedWait += o.SchedWait
 	if o.FPGAs > s.FPGAs {
 		s.FPGAs = o.FPGAs
 	}
@@ -129,6 +149,8 @@ func (s *Stats) Add(o Stats) {
 	s.DeviceHold += o.DeviceHold
 	s.DeviceAcquires += o.DeviceAcquires
 	s.DeviceContended += o.DeviceContended
+	s.DeviceReconfigs += o.DeviceReconfigs
+	s.DeviceReconfigTime += o.DeviceReconfigTime
 }
 
 // Stream executes jobs across a bounded worker pool and sends every job's
@@ -142,8 +164,8 @@ func (s *Stats) Add(o Stats) {
 // the pool down once the batch drains — so one-shot and service-style
 // batches share a single execution path and contract.
 func Stream[T any](ctx context.Context, jobs []Job[T], opt Options) <-chan Result[T] {
-	p := newPool(opt.workers(len(jobs)), opt.Device, 0)
-	ch, err := streamOn(ctx, p, jobs, opt.FailFast, p.Close)
+	p := newPool(PoolConfig{Workers: opt.workers(len(jobs))}, sched.Config{}, opt.Device)
+	ch, err := streamOn(ctx, p, jobs, nil, opt.FailFast, p.Close)
 	if err != nil {
 		// Unreachable: a fresh unbounded pool admits any batch. Fail loudly
 		// rather than silently dropping jobs.
@@ -168,7 +190,7 @@ func Run[T any](ctx context.Context, jobs []Job[T], opt Options) ([]Result[T], S
 // servers use to stream progress while the batch is still running. Keep it
 // fast; it is on the result path.
 func RunWith[T any](ctx context.Context, jobs []Job[T], opt Options, onResult func(Result[T])) ([]Result[T], Stats, error) {
-	p := newPool(opt.workers(len(jobs)), opt.Device, 0)
+	p := newPool(PoolConfig{Workers: opt.workers(len(jobs))}, sched.Config{}, opt.Device)
 	defer p.Close()
 	return RunOn(ctx, p, jobs, opt.FailFast, onResult)
 }

@@ -4,19 +4,27 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"github.com/flex-eda/flex/internal/sched"
 )
 
 // Device models a pool of physical accelerator boards shared by every job
 // of a batch — the paper's single Alveo card multiplexed across a host's
-// concurrent legalization jobs. It is a counting semaphore with capacity =
-// the number of boards: a job's accelerator-resident phase holds one token
-// while its CPU phases (and every CPU-only sibling job) keep overlapping.
+// concurrent legalization jobs. Board tokens are handed out by a scheduled
+// semaphore (internal/sched): waiters are served in policy order — priority,
+// deadline, fairness — instead of arrival order, and each board remembers
+// the configuration (bitstream) of its last holder so the model can charge
+// a reconfiguration delay when consecutive holders come from different
+// jobs. Assignment is affinity-aware: a job is steered to a board already
+// carrying its configuration when one is free.
 //
 // Holding a token never changes what a job computes — engines are pure
 // functions of their inputs — so results stay byte-identical for any
-// capacity; only wall-clock and wait statistics move.
+// capacity, policy, or reconfiguration cost; only wall-clock and wait
+// statistics move.
 type Device struct {
-	sem chan struct{}
+	sem  *sched.Semaphore
+	cost time.Duration
 
 	mu    sync.Mutex
 	stats DeviceStats
@@ -34,20 +42,44 @@ type DeviceStats struct {
 	Contended int
 	// Wait is the total time jobs spent queued for a token (including
 	// queue time of canceled attempts); Hold is the total time tokens
-	// were held (the boards' modeled busy time).
+	// were held (the boards' modeled busy time, reconfiguration included).
 	Wait time.Duration
 	Hold time.Duration
+	// Reconfigs counts acquisitions that had to reprogram their board: the
+	// acquiring job's configuration differed from the board's previous
+	// holder's (each board's first use included — the bitstream must be
+	// loaded). ReconfigTime is the total modeled programming time charged
+	// for them; it is part of Hold. ReconfigCost echoes the per-swap delay
+	// the device was built with (0 = reconfigurations are counted but
+	// free).
+	Reconfigs    int
+	ReconfigTime time.Duration
+	ReconfigCost time.Duration
 }
 
 // NewDevice builds a device pool with the given capacity (<= 0 means 1,
-// the paper's single-board host).
+// the paper's single-board host), default scheduling, and no
+// reconfiguration cost.
 func NewDevice(capacity int) *Device {
+	return NewDeviceWith(capacity, 0, sched.Config{})
+}
+
+// NewDeviceWith builds a device pool with an explicit board-queue
+// scheduling configuration and a modeled per-swap reconfiguration delay:
+// every acquisition whose job differs from the board's previous holder
+// keeps the board busy for reconfigCost before the job's own device phase
+// starts.
+func NewDeviceWith(capacity int, reconfigCost time.Duration, cfg sched.Config) *Device {
 	if capacity <= 0 {
 		capacity = 1
 	}
+	if reconfigCost < 0 {
+		reconfigCost = 0
+	}
 	return &Device{
-		sem:   make(chan struct{}, capacity),
-		stats: DeviceStats{Capacity: capacity},
+		sem:   sched.NewSemaphore(capacity, cfg),
+		cost:  reconfigCost,
+		stats: DeviceStats{Capacity: capacity, ReconfigCost: reconfigCost},
 	}
 }
 
@@ -56,14 +88,23 @@ func NewDevice(capacity int) *Device {
 // the paper's single card, positive is the pool size. Callers share this
 // policy so every CLI and driver reads the knob identically.
 func DevicePool(fpgas int) *Device {
+	return DevicePoolWith(fpgas, 0, sched.Config{})
+}
+
+// DevicePoolWith is DevicePool with the board queue's scheduling
+// configuration and the modeled reconfiguration cost.
+func DevicePoolWith(fpgas int, reconfigCost time.Duration, cfg sched.Config) *Device {
 	if fpgas < 0 {
 		return nil
 	}
-	return NewDevice(fpgas)
+	return NewDeviceWith(fpgas, reconfigCost, cfg)
 }
 
 // Capacity returns the number of modeled boards.
-func (d *Device) Capacity() int { return cap(d.sem) }
+func (d *Device) Capacity() int { return d.sem.Capacity() }
+
+// ReconfigCost returns the modeled per-swap board programming delay.
+func (d *Device) ReconfigCost() time.Duration { return d.cost }
 
 // Stats snapshots the cumulative acquisition statistics.
 func (d *Device) Stats() DeviceStats {
@@ -72,25 +113,7 @@ func (d *Device) Stats() DeviceStats {
 	return d.stats
 }
 
-// acquire takes one token, blocking until a board frees up or ctx is
-// canceled. It reports whether the acquisition had to wait.
-func (d *Device) acquire(ctx context.Context) (contended bool, err error) {
-	select {
-	case d.sem <- struct{}{}:
-		return false, nil
-	default:
-	}
-	select {
-	case d.sem <- struct{}{}:
-		return true, nil
-	case <-ctx.Done():
-		return true, ctx.Err()
-	}
-}
-
-func (d *Device) release() { <-d.sem }
-
-func (d *Device) note(contended bool, wait, hold time.Duration) {
+func (d *Device) note(contended, reconfig bool, wait, hold, reconfigTime time.Duration) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.stats.Wait += wait
@@ -98,6 +121,10 @@ func (d *Device) note(contended bool, wait, hold time.Duration) {
 	d.stats.Acquires++
 	if contended {
 		d.stats.Contended++
+	}
+	if reconfig {
+		d.stats.Reconfigs++
+		d.stats.ReconfigTime += reconfigTime
 	}
 }
 
@@ -111,11 +138,12 @@ func (d *Device) noteCanceled(wait time.Duration) {
 	d.stats.Contended++
 }
 
-// deviceKey/usageKey carry the batch's device and the running job's usage
-// recorder through the job context.
+// deviceKey/usageKey/classKey carry the batch's device, the running job's
+// usage recorder, and the job's scheduling class through the job context.
 type (
 	deviceKey struct{}
 	usageKey  struct{}
+	classKey  struct{}
 )
 
 // deviceUsage accumulates one job's device time and acquisition counts. It
@@ -124,10 +152,12 @@ type (
 // per-batch acquisition statistics even when concurrent batches share one
 // pool — a delta of the pool's cumulative stats would blend the siblings.
 type deviceUsage struct {
-	wait      time.Duration
-	hold      time.Duration
-	acquires  int
-	contended int
+	wait         time.Duration
+	hold         time.Duration
+	acquires     int
+	contended    int
+	reconfigs    int
+	reconfigTime time.Duration
 }
 
 // WithDevice returns a context carrying the device pool; jobs claim their
@@ -144,22 +174,39 @@ func DeviceFrom(ctx context.Context) *Device {
 	return d
 }
 
+// withClass returns a context carrying the job's scheduling class, so
+// AcquireDevice can queue for boards under the job's priority, deadline and
+// configuration identity.
+func withClass(ctx context.Context, c sched.Class) context.Context {
+	return context.WithValue(ctx, classKey{}, c)
+}
+
+// classFrom returns the context's scheduling class (zero outside a classed
+// batch — neutral priority, anonymous client, always-reconfigure).
+func classFrom(ctx context.Context) sched.Class {
+	c, _ := ctx.Value(classKey{}).(sched.Class)
+	return c
+}
+
 // AcquireDevice claims one modeled board for the calling job's
 // accelerator-resident phase and returns the release function; the caller
 // must invoke release (it is idempotent) when the phase ends. Without a
 // device on the context this is a free no-op, so engine code may declare
 // its accelerator phase unconditionally and still run outside any batch.
 // The blocking wait honors ctx: a canceled batch returns ctx.Err() and no
-// token. A job must release before re-acquiring — recursive holds
-// self-deadlock at capacity 1.
+// token. When the granted board's previous holder ran a different job, the
+// board stays busy for the device's modeled reconfiguration delay before
+// this call returns. A job must release before re-acquiring — recursive
+// holds self-deadlock at capacity 1.
 func AcquireDevice(ctx context.Context) (release func(), err error) {
 	d := DeviceFrom(ctx)
 	if d == nil {
 		return func() {}, nil
 	}
-	start := time.Now()
+	class := classFrom(ctx)
 	usage, _ := ctx.Value(usageKey{}).(*deviceUsage)
-	contended, err := d.acquire(ctx)
+	start := time.Now()
+	g, err := d.sem.Acquire(ctx, class)
 	wait := time.Since(start)
 	if err != nil {
 		// The aborted wait was still time spent queued for the board.
@@ -170,14 +217,49 @@ func AcquireDevice(ctx context.Context) (release func(), err error) {
 		d.noteCanceled(wait)
 		return nil, err
 	}
+	heldAt := time.Now()
+	var reconfigTime time.Duration
+	if g.Reconfig && d.cost > 0 {
+		// The board is busy being reprogrammed: the token is held through
+		// the modeled delay. A cancellation mid-programming releases the
+		// board and books the partial busy time.
+		t := time.NewTimer(d.cost)
+		select {
+		case <-t.C:
+			reconfigTime = time.Since(heldAt)
+		case <-ctx.Done():
+			t.Stop()
+			partial := time.Since(heldAt)
+			// The programming was cut short: the board carries no usable
+			// bitstream, so its next holder must reconfigure — whoever it
+			// is, including this same job's siblings.
+			d.sem.Invalidate(g.Board)
+			d.sem.Release(g.Board, class)
+			if usage != nil {
+				usage.wait += wait
+				usage.acquires++
+				if g.Contended {
+					usage.contended++
+				}
+				usage.hold += partial
+				usage.reconfigs++
+				usage.reconfigTime += partial
+			}
+			d.note(g.Contended, true, wait, partial, partial)
+			return nil, ctx.Err()
+		}
+	}
 	if usage != nil {
 		usage.wait += wait
 		usage.acquires++
-		if contended {
+		if g.Contended {
 			usage.contended++
 		}
+		if g.Reconfig {
+			usage.reconfigs++
+			usage.reconfigTime += reconfigTime
+		}
 	}
-	heldAt := time.Now()
 	var once sync.Once
 	return func() {
 		once.Do(func() {
@@ -185,8 +267,8 @@ func AcquireDevice(ctx context.Context) (release func(), err error) {
 			if usage != nil {
 				usage.hold += hold
 			}
-			d.note(contended, wait, hold)
-			d.release()
+			d.note(g.Contended, g.Reconfig, wait, hold, reconfigTime)
+			d.sem.Release(g.Board, class)
 		})
 	}, nil
 }

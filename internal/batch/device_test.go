@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/flex-eda/flex/internal/sched"
 )
 
 // deviceJobs builds n jobs that each hold the batch device for a moment and
@@ -219,7 +221,7 @@ func TestDeviceReleaseIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer again()
-	if _, err := dev.acquire(canceledCtx()); !errors.Is(err, context.Canceled) {
+	if _, err := dev.sem.Acquire(canceledCtx(), sched.Class{}); !errors.Is(err, context.Canceled) {
 		t.Fatal("second token available after double release")
 	}
 }

@@ -3,9 +3,12 @@ package batch
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
+
+	"github.com/flex-eda/flex/internal/sched"
 )
 
 // ErrOverloaded rejects a batch whose jobs do not fit the pool's admission
@@ -15,6 +18,27 @@ var ErrOverloaded = errors.New("batch: pool overloaded (queue full)")
 
 // ErrPoolClosed rejects batches submitted after Close.
 var ErrPoolClosed = errors.New("batch: pool closed")
+
+// ErrClientOverloaded rejects a batch whose jobs would push one client past
+// the pool's per-client admission bound (PoolConfig.ClientDepth). Match it
+// with errors.Is; the concrete error is a *ClientOverloadedError naming the
+// client.
+var ErrClientOverloaded = errors.New("batch: client queue full")
+
+// ClientOverloadedError is the concrete per-client admission rejection: the
+// named client's queued+running jobs would exceed the pool's ClientDepth.
+type ClientOverloadedError struct {
+	// Client is the tenant whose admission bound the batch tripped.
+	Client string
+}
+
+// Error implements error.
+func (e *ClientOverloadedError) Error() string {
+	return fmt.Sprintf("batch: client %q queue full", e.Client)
+}
+
+// Is matches ErrClientOverloaded.
+func (e *ClientOverloadedError) Is(target error) bool { return target == ErrClientOverloaded }
 
 // PoolConfig sizes a worker pool.
 type PoolConfig struct {
@@ -30,56 +54,89 @@ type PoolConfig struct {
 	// 0 = unbounded. A batch larger than the whole depth can never be
 	// admitted and is always rejected with ErrOverloaded.
 	QueueDepth int
+	// Policy orders waiting jobs everywhere they queue — for a worker and
+	// for a board. nil = sched.Default(): effective priority (base +
+	// aging) descending, earliest deadline first within a level, weighted
+	// fair share, then arrival order.
+	Policy sched.Policy
+	// ClientQuota caps concurrently running jobs per client (0 =
+	// unlimited). Jobs over quota stay queued; they are deferred, never
+	// rejected.
+	ClientQuota int
+	// ClientDepth bounds one client's admitted jobs (queued + running;
+	// 0 = unbounded). A batch that would push any of its clients past the
+	// bound is rejected atomically with a *ClientOverloadedError.
+	ClientDepth int
+	// ReconfigCost is the modeled board reconfiguration delay charged when
+	// consecutive holders of one board come from different jobs (0 = free;
+	// reconfigurations are counted either way).
+	ReconfigCost time.Duration
 }
 
 // Pool is a long-lived bounded worker pool shared by many batch runs — the
 // persistent heart of a legalization service. Where Run/Stream spin workers
 // up per call, a Pool keeps them (and the modeled accelerator boards) alive
 // across batches, so cross-request state — device contention history,
-// admission control — has somewhere to live.
+// admission control, the scheduling queue — has somewhere to live.
 //
-// Concurrency-safe: batches from many goroutines interleave on the same
-// workers. Determinism is untouched — jobs are pure functions of their
-// inputs, so sharing workers and boards moves only wall-clock and wait
-// statistics, never results.
+// Workers feed from a scheduled task queue (internal/sched) rather than a
+// FIFO channel: jobs carry a sched.Class and the queue dequeues by policy —
+// priority, deadline, aging, per-client quota and fairness. Concurrency-
+// safe: batches from many goroutines interleave on the same workers.
+// Determinism is untouched — jobs are pure functions of their inputs, so
+// sharing workers and boards, or reordering the queue, moves only
+// wall-clock and wait statistics, never results.
 type Pool struct {
 	workers int
 	device  *Device
 	depth   int
+	cdepth  int
+	queue   *sched.TaskQueue
 
-	tasks chan func()
-	wg    sync.WaitGroup // worker goroutines
+	wg sync.WaitGroup // worker goroutines
 
-	mu       sync.Mutex
-	admitted int            // jobs admitted and not yet delivered
-	batches  sync.WaitGroup // admitted batches still draining
-	closed   bool
-	jobsDone int64 // delivered results, cumulative
+	mu               sync.Mutex
+	admitted         int            // jobs admitted and not yet delivered
+	admittedByClient map[string]int // same, per client
+	batches          sync.WaitGroup // admitted batches still draining
+	closed           bool
+	jobsDone         int64 // delivered results, cumulative
 }
 
 // NewPool starts the pool's workers. Callers must Close it to stop them.
 func NewPool(cfg PoolConfig) *Pool {
-	return newPool(cfg.Workers, DevicePool(cfg.FPGAs), cfg.QueueDepth)
+	// One derivation of the scheduling config: the worker queue and the
+	// board semaphore must never see different policies or quotas.
+	scfg := sched.Config{Policy: cfg.Policy, Quota: cfg.ClientQuota}
+	return newPool(cfg, scfg, DevicePoolWith(cfg.FPGAs, cfg.ReconfigCost, scfg))
 }
 
-// newPool is the internal constructor: a resolved device instead of the
-// board-count knob, for the throwaway pools Run/Stream build per call.
-func newPool(workers int, device *Device, depth int) *Pool {
+// newPool is the internal constructor: a resolved scheduling config and
+// device instead of the knobs, for the throwaway pools Run/Stream build
+// per call.
+func newPool(cfg PoolConfig, scfg sched.Config, device *Device) *Pool {
+	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	p := &Pool{
-		workers: workers,
-		device:  device,
-		depth:   depth,
-		tasks:   make(chan func()),
+		workers:          workers,
+		device:           device,
+		depth:            cfg.QueueDepth,
+		cdepth:           cfg.ClientDepth,
+		queue:            sched.NewTaskQueue(scfg),
+		admittedByClient: make(map[string]int),
 	}
 	for w := 0; w < workers; w++ {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			for task := range p.tasks {
-				task()
+			for {
+				run, ok := p.queue.Pop()
+				if !ok {
+					return
+				}
+				run()
 			}
 		}()
 	}
@@ -92,6 +149,11 @@ func (p *Pool) Workers() int { return p.workers }
 // Device returns the pool's shared accelerator board model (nil when the
 // pool models unlimited boards).
 func (p *Pool) Device() *Device { return p.device }
+
+// Depths snapshots the scheduling queue's occupancy: waiting jobs by base
+// priority and by client, plus running jobs by client — the service's
+// per-priority queue-depth statistics.
+func (p *Pool) Depths() sched.Depths { return p.queue.Depths() }
 
 // JobsDone returns the cumulative number of job results delivered.
 func (p *Pool) JobsDone() int64 {
@@ -109,17 +171,42 @@ func (p *Pool) Admitted() int {
 	return p.admitted
 }
 
-// admit reserves n admission slots, or rejects the whole batch.
-func (p *Pool) admit(n int) error {
+// AdmittedByClient returns the named client's admitted-and-undelivered job
+// count — the occupancy the per-client admission bound (ClientDepth) is
+// measured against, and the honest basis of a per-client Retry-After.
+func (p *Pool) AdmittedByClient(client string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.admittedByClient[client]
+}
+
+// admit reserves admission slots for every class, or rejects the whole
+// batch: over the global depth with ErrOverloaded, over one client's depth
+// with a *ClientOverloadedError naming the client.
+func (p *Pool) admit(classes []sched.Class) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return ErrPoolClosed
 	}
-	if p.depth > 0 && p.admitted+n > p.depth {
+	if p.depth > 0 && p.admitted+len(classes) > p.depth {
 		return ErrOverloaded
 	}
-	p.admitted += n
+	if p.cdepth > 0 {
+		perClient := make(map[string]int)
+		for _, c := range classes {
+			perClient[c.Client]++
+		}
+		for client, n := range perClient {
+			if p.admittedByClient[client]+n > p.cdepth {
+				return &ClientOverloadedError{Client: client}
+			}
+		}
+	}
+	p.admitted += len(classes)
+	for _, c := range classes {
+		p.admittedByClient[c.Client]++
+	}
 	p.batches.Add(1)
 	return nil
 }
@@ -127,9 +214,13 @@ func (p *Pool) admit(n int) error {
 // jobDelivered frees one admission slot once a job's result reached the
 // batch's consumer — queue depth bounds the whole pipeline, including
 // results not yet drained.
-func (p *Pool) jobDelivered() {
+func (p *Pool) jobDelivered(client string) {
 	p.mu.Lock()
 	p.admitted--
+	p.admittedByClient[client]--
+	if p.admittedByClient[client] <= 0 {
+		delete(p.admittedByClient, client)
+	}
 	p.jobsDone++
 	p.mu.Unlock()
 }
@@ -152,7 +243,7 @@ func (p *Pool) Close() {
 	p.closed = true
 	p.mu.Unlock()
 	p.batches.Wait()
-	close(p.tasks)
+	p.queue.Close()
 	p.wg.Wait()
 }
 
@@ -177,16 +268,40 @@ func effectiveWorkers(w, n int) int {
 //
 // Admission is atomic: either every job fits the pool's queue depth and the
 // batch runs, or StreamOn returns ErrOverloaded (ErrPoolClosed after Close)
-// and nothing starts.
+// and nothing starts. Jobs run under the zero scheduling class; see
+// StreamClassedOn for classed batches.
 func StreamOn[T any](ctx context.Context, p *Pool, jobs []Job[T], failFast bool) (<-chan Result[T], error) {
-	return streamOn(ctx, p, jobs, failFast, nil)
+	return streamOn(ctx, p, jobs, nil, failFast, nil)
 }
 
-// streamOn is StreamOn with an after-drain hook, run after the result
-// channel closes — how the per-call Stream wrapper tears its throwaway
-// pool down without an extra relay goroutine.
-func streamOn[T any](ctx context.Context, p *Pool, jobs []Job[T], failFast bool, onDrained func()) (<-chan Result[T], error) {
-	if err := p.admit(len(jobs)); err != nil {
+// StreamClassedOn is StreamOn with one sched.Class per job: the pool's
+// scheduler orders the jobs by class everywhere they wait, per-client
+// admission bounds apply (a rejection is a *ClientOverloadedError), and a
+// job whose deadline has passed when a worker picks it up fails fast with
+// sched.ErrDeadlineExceeded without running. classes must be nil (all
+// zero) or len(jobs) long.
+func StreamClassedOn[T any](ctx context.Context, p *Pool, jobs []Job[T], classes []sched.Class, failFast bool) (<-chan Result[T], error) {
+	return streamOn(ctx, p, jobs, classes, failFast, nil)
+}
+
+// streamOn is the shared stream implementation, with an after-drain hook
+// run after the result channel closes — how the per-call Stream wrapper
+// tears its throwaway pool down without an extra relay goroutine.
+func streamOn[T any](ctx context.Context, p *Pool, jobs []Job[T], classes []sched.Class, failFast bool, onDrained func()) (<-chan Result[T], error) {
+	if classes != nil && len(classes) != len(jobs) {
+		return nil, fmt.Errorf("batch: %d classes for %d jobs", len(classes), len(jobs))
+	}
+	cls := func(i int) sched.Class {
+		if classes == nil {
+			return sched.Class{}
+		}
+		return classes[i]
+	}
+	admitClasses := classes
+	if admitClasses == nil {
+		admitClasses = make([]sched.Class, len(jobs))
+	}
+	if err := p.admit(admitClasses); err != nil {
 		return nil, err
 	}
 	out := make(chan Result[T])
@@ -210,47 +325,76 @@ func streamOn[T any](ctx context.Context, p *Pool, jobs []Job[T], failFast bool,
 		// batch consumer, so one stalled stream cannot wedge the shared
 		// pool's workers.
 		results := make(chan Result[T], len(jobs))
-		go func() {
-			for i := range jobs {
-				i := i
-				task := func() {
-					if bctx.Err() != nil {
-						results <- Result[T]{Index: i, Err: ErrSkipped}
-						return
+		tickets := make([]*sched.Ticket, len(jobs))
+		for i := range jobs {
+			i := i
+			class := cls(i)
+			tickets[i] = p.queue.Push(class, func(queued time.Duration) {
+				r := Result[T]{Index: i, SchedWait: queued}
+				switch {
+				case bctx.Err() != nil:
+					r.Err = ErrSkipped
+				case class.Expired(time.Now()):
+					// The deadline passed while the job queued: fail fast
+					// without running the engine.
+					r.Err = sched.ErrDeadlineExceeded
+					if failFast {
+						cancel()
 					}
-					jctx := runCtx
+				default:
+					jctx := withClass(runCtx, class)
 					var usage *deviceUsage
 					if p.device != nil {
 						usage = &deviceUsage{}
-						jctx = context.WithValue(runCtx, usageKey{}, usage)
+						jctx = context.WithValue(jctx, usageKey{}, usage)
 					}
 					start := time.Now()
 					v, err := jobs[i](jctx)
 					if err != nil && failFast {
 						cancel()
 					}
-					r := Result[T]{Index: i, Value: v, Err: err, Wall: time.Since(start)}
+					r.Value, r.Err, r.Wall = v, err, time.Since(start)
 					if err != nil && bctx.Err() != nil &&
 						(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 						r.aborted = true
 					}
 					if usage != nil {
 						r.DeviceWait, r.DeviceHold = usage.wait, usage.hold
+						r.DeviceReconfigs = usage.reconfigs
 						r.deviceAcquires, r.deviceContended = usage.acquires, usage.contended
+						r.deviceReconfigTime = usage.reconfigTime
 					}
-					results <- r
 				}
-				select {
-				case p.tasks <- task:
-				case <-bctx.Done():
-					results <- Result[T]{Index: i, Err: ErrSkipped}
-				}
-			}
-		}()
+				results <- r
+			})
+		}
 
-		for n := 0; n < len(jobs); n++ {
-			out <- <-results
-			p.jobDelivered()
+		// Collect every job's result. On cancellation, still-queued tasks
+		// are dropped from the scheduler at once and skipped here — a
+		// canceled batch must not wait for workers to churn through other
+		// tenants' backlog just to emit its skips.
+		deliver := func(r Result[T]) {
+			out <- r
+			p.jobDelivered(cls(r.Index).Client)
+		}
+		remaining := len(jobs)
+		for remaining > 0 {
+			select {
+			case r := <-results:
+				deliver(r)
+				remaining--
+				continue
+			case <-bctx.Done():
+			}
+			for _, i := range p.queue.Drop(tickets) {
+				deliver(Result[T]{Index: i, Err: ErrSkipped})
+				remaining--
+			}
+			// Whatever already reached a worker delivers the normal way.
+			for remaining > 0 {
+				deliver(<-results)
+				remaining--
+			}
 		}
 	}()
 	return out, nil
@@ -265,8 +409,14 @@ func streamOn[T any](ctx context.Context, p *Pool, jobs []Job[T], failFast bool,
 // Device statistics are summed from this batch's own jobs, so they stay
 // exact per batch even when concurrent batches share the pool.
 func RunOn[T any](ctx context.Context, p *Pool, jobs []Job[T], failFast bool, onResult func(Result[T])) ([]Result[T], Stats, error) {
+	return RunClassedOn(ctx, p, jobs, nil, failFast, onResult)
+}
+
+// RunClassedOn is RunOn with one sched.Class per job — the blocking form of
+// StreamClassedOn, with its scheduling, quota, and deadline semantics.
+func RunClassedOn[T any](ctx context.Context, p *Pool, jobs []Job[T], classes []sched.Class, failFast bool, onResult func(Result[T])) ([]Result[T], Stats, error) {
 	start := time.Now()
-	ch, err := StreamOn(ctx, p, jobs, failFast)
+	ch, err := streamOn(ctx, p, jobs, classes, failFast, nil)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -282,10 +432,13 @@ func RunOn[T any](ctx context.Context, p *Pool, jobs []Job[T], failFast bool, on
 	for i := range results {
 		r := &results[i]
 		st.WorkWall += r.Wall
+		st.SchedWait += r.SchedWait
 		st.DeviceWait += r.DeviceWait
 		st.DeviceHold += r.DeviceHold
 		st.DeviceAcquires += r.deviceAcquires
 		st.DeviceContended += r.deviceContended
+		st.DeviceReconfigs += r.DeviceReconfigs
+		st.DeviceReconfigTime += r.deviceReconfigTime
 		switch {
 		case errors.Is(r.Err, ErrSkipped):
 			st.Skipped++

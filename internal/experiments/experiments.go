@@ -59,6 +59,11 @@ type Options struct {
 	// FPGAs. nil builds a throwaway pool per driver call, the historical
 	// behaviour.
 	Pool *batch.Pool
+	// Priority stamps every driver job's scheduling class (flexbench's
+	// -priority flag): on a shared pool, a whole flexbench run can be
+	// demoted below (or promoted above) concurrent traffic. Scheduling
+	// order never changes a rendered table.
+	Priority int
 	// Layouts, when non-nil, memoizes generated layouts by (design, scale,
 	// seed) across drivers and repeated runs, so shared designs are built
 	// once per process instead of once per driver. Safe because engines

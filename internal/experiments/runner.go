@@ -8,6 +8,7 @@ import (
 	"github.com/flex-eda/flex/internal/batch"
 	"github.com/flex-eda/flex/internal/gen"
 	"github.com/flex-eda/flex/internal/model"
+	"github.com/flex-eda/flex/internal/sched"
 )
 
 // run fans jobs across the driver's worker pool and collapses the results
@@ -33,7 +34,17 @@ func run[T any](opt Options, jobs []batch.Job[T]) ([]T, error) {
 		pool = batch.NewPool(batch.PoolConfig{Workers: opt.Workers, FPGAs: opt.FPGAs})
 		defer pool.Close()
 	}
-	results, st, err := batch.RunOn(context.Background(), pool, jobs, true, nil)
+	// Drivers submit uniform batches: Options.Priority stamps every job's
+	// class so a whole flexbench run schedules below or above concurrent
+	// pool traffic.
+	var classes []sched.Class
+	if opt.Priority != 0 {
+		classes = make([]sched.Class, len(jobs))
+		for i := range classes {
+			classes[i] = sched.Class{Priority: opt.Priority}
+		}
+	}
+	results, st, err := batch.RunClassedOn(context.Background(), pool, jobs, classes, true, nil)
 	if opt.Stats != nil {
 		opt.Stats.Add(st)
 	}

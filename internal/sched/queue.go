@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// TaskQueue is a scheduled work queue: producers Push tasks with a Class,
+// consumers (worker goroutines) Pop the best eligible task under the
+// queue's Policy, quota and fairness rules. It replaces the FIFO task
+// channel at the heart of batch.Pool.
+//
+// Push never blocks (admission control bounds the queue from above). Pop
+// blocks until a task is runnable or the queue is closed and drained. All
+// methods are safe for concurrent use.
+type TaskQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	cfg  Config
+
+	waiters []*waiter
+	running map[string]int // per-client running tasks
+	seq     uint64
+	closed  bool
+}
+
+// Depths is a point-in-time snapshot of queue occupancy, the substrate of
+// the service's per-priority and per-client queue-depth statistics.
+type Depths struct {
+	// Waiting is the number of queued (not yet running) tasks.
+	Waiting int
+	// WaitingByPriority buckets waiting tasks by their base priority.
+	WaitingByPriority map[int]int
+	// WaitingByClient buckets waiting tasks by client.
+	WaitingByClient map[string]int
+	// RunningByClient counts popped-and-unfinished tasks per client — the
+	// in-flight set the per-client quota caps.
+	RunningByClient map[string]int
+}
+
+// NewTaskQueue builds an empty queue with the given configuration.
+func NewTaskQueue(cfg Config) *TaskQueue {
+	q := &TaskQueue{cfg: cfg, running: make(map[string]int)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Ticket identifies one pushed task, so a canceled batch can Drop its
+// still-queued tasks instead of waiting for workers to pop each one.
+type Ticket struct {
+	w *waiter
+}
+
+// Push enqueues run under class and returns the task's ticket. The task's
+// wait argument is the time it spent queued between Push and the Pop that
+// picked it up.
+func (q *TaskQueue) Push(class Class, run func(wait time.Duration)) *Ticket {
+	w := &waiter{class: class, since: q.cfg.now(), run: run}
+	q.mu.Lock()
+	w.seq = q.seq
+	q.seq++
+	q.waiters = append(q.waiters, w)
+	q.mu.Unlock()
+	q.cond.Broadcast()
+	return &Ticket{w: w}
+}
+
+// Drop removes every still-queued task among ts and reports which (by
+// position in ts). Tasks already popped — running or finished — are
+// untouched and unreported; their results arrive the normal way. The
+// canceled batch's fast path: its unstarted jobs leave the queue at once
+// instead of each waiting for a worker.
+func (q *TaskQueue) Drop(ts []*Ticket) []int {
+	drop := make(map[*waiter]int, len(ts))
+	for i, t := range ts {
+		if t != nil {
+			drop[t.w] = i
+		}
+	}
+	var removed []int
+	q.mu.Lock()
+	kept := q.waiters[:0]
+	for _, w := range q.waiters {
+		if i, ok := drop[w]; ok {
+			removed = append(removed, i)
+			continue
+		}
+		kept = append(kept, w)
+	}
+	q.waiters = kept
+	q.mu.Unlock()
+	return removed
+}
+
+// Pop blocks until a task is runnable and returns it wrapped with the
+// queue's bookkeeping: calling the returned function runs the task and then
+// releases its client's quota slot. ok is false once the queue is closed
+// and fully drained — the worker's signal to exit. Tasks still queued at
+// Close are drained first, preserving the channel-close semantics the pool
+// had before scheduling.
+func (q *TaskQueue) Pop() (run func(), ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if i := pickBest(q.cfg, q.waiters, q.running, q.cfg.now()); i >= 0 {
+			w := q.waiters[i]
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			client := w.class.Client
+			q.running[client]++
+			wait := q.cfg.now().Sub(w.since)
+			return func() {
+				w.run(wait)
+				q.mu.Lock()
+				q.running[client]--
+				if q.running[client] <= 0 {
+					delete(q.running, client)
+				}
+				q.mu.Unlock()
+				// A freed quota slot may make a queued sibling eligible.
+				q.cond.Broadcast()
+			}, true
+		}
+		if q.closed && len(q.waiters) == 0 {
+			return nil, false
+		}
+		// Nothing eligible: wait for a Push, a quota slot, or Close.
+		// Quota-blocked waiters imply running tasks whose completion will
+		// broadcast, so this wait cannot deadlock.
+		q.cond.Wait()
+	}
+}
+
+// Close stops the queue: Pops drain the remaining tasks, then return
+// ok = false. Idempotent.
+func (q *TaskQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Depths snapshots current queue occupancy.
+func (q *TaskQueue) Depths() Depths {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	d := Depths{
+		Waiting:           len(q.waiters),
+		WaitingByPriority: make(map[int]int),
+		WaitingByClient:   make(map[string]int),
+		RunningByClient:   make(map[string]int, len(q.running)),
+	}
+	for _, w := range q.waiters {
+		d.WaitingByPriority[w.class.Priority]++
+		d.WaitingByClient[w.class.Client]++
+	}
+	for c, n := range q.running {
+		d.RunningByClient[c] = n
+	}
+	return d
+}

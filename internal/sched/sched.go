@@ -1,0 +1,271 @@
+// Package sched is the admission-side scheduler of the batch runner: it
+// decides which waiting job runs next everywhere a job queues — for a
+// worker goroutine in the pool, or for a modeled accelerator board in the
+// device model. The rest of the system stays FIFO-free: batch.Pool feeds
+// its workers from a TaskQueue and batch.Device hands out board tokens
+// through a Semaphore, both ordered by a pluggable Policy.
+//
+// A job's demands travel in its Class: a priority level, an optional
+// absolute deadline, a client (tenant) identity for quotas and fair
+// sharing, and a configuration identity for the board-reconfiguration
+// model. The default policy dequeues by effective priority — base priority
+// plus an aging boost that grows while the job waits, so no class starves —
+// breaking ties earliest-deadline-first, then by weighted fair share across
+// clients, then by arrival order.
+//
+// Scheduling never changes what a job computes. Engines are pure functions
+// of their inputs, so reordering the queue moves only wall-clock and wait
+// statistics; for a fixed job set every policy yields byte-identical
+// results.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrDeadlineExceeded reports a job whose absolute deadline passed before
+// the scheduler could start it: the job fails fast without running. It is
+// re-exported as flex.ErrDeadlineExceeded.
+var ErrDeadlineExceeded = errors.New("job deadline exceeded before start")
+
+// Class describes one job's scheduling demands. The zero value is the
+// neutral job: priority 0, no deadline, the anonymous client, no board
+// configuration identity.
+type Class struct {
+	// Priority orders jobs: higher runs earlier. Levels are small integers
+	// around 0 (negative = background); aging adds one effective level per
+	// waited AgeStep, so any bounded priority gap closes in bounded time.
+	Priority int
+	// Deadline, when non-zero, is the job's absolute completion target.
+	// Within one effective priority level the earliest deadline runs first,
+	// and a job whose deadline has already passed when it is picked fails
+	// fast with ErrDeadlineExceeded instead of running.
+	Deadline time.Time
+	// Client is the submitting tenant, for per-client quotas and weighted
+	// fair sharing. Empty is the shared anonymous client.
+	Client string
+	// Job identifies the board configuration (bitstream) the job needs on
+	// an accelerator: consecutive holders of one board with equal Job skip
+	// the modeled reconfiguration delay. Empty never matches — an
+	// unidentified job always reconfigures.
+	Job string
+	// Weight is the client's fair-share weight (0 = 1): at equal priority
+	// and deadline, the client with the lowest running/weight ratio runs
+	// first, so a weight-2 client sustains twice the throughput of a
+	// weight-1 sibling under contention.
+	Weight int
+}
+
+// Expired reports whether the class's deadline (if any) has passed at now.
+func (c Class) Expired(now time.Time) bool {
+	return !c.Deadline.IsZero() && now.After(c.Deadline)
+}
+
+// weight resolves the fair-share weight (>= 1).
+func (c Class) weight() float64 {
+	if c.Weight < 1 {
+		return 1
+	}
+	return float64(c.Weight)
+}
+
+// Waiter is the policy's view of one queued job.
+type Waiter struct {
+	// Class is the job's scheduling class.
+	Class Class
+	// Seq is the arrival sequence number (lower = earlier).
+	Seq uint64
+	// Since is the enqueue time, the base of the aging boost.
+	Since time.Time
+	// Load is the job's client's current fair-share load — running jobs
+	// divided by the client's weight — computed by the queue at selection
+	// time. Policies use it to spread capacity across tenants.
+	Load float64
+}
+
+// Policy orders waiting jobs. Less reports whether a should be granted
+// before b at time now; implementations must be a strict weak ordering for
+// any fixed now.
+type Policy interface {
+	// Name is the canonical policy name (ParsePolicy accepts it).
+	Name() string
+	// Less reports whether a runs before b at time now.
+	Less(a, b Waiter, now time.Time) bool
+}
+
+// DefaultAgeStep is the aging interval of the default priority policy: a
+// waiting job gains one effective priority level per DefaultAgeStep waited,
+// which bounds starvation — a priority-0 job outranks fresh priority-p
+// arrivals after at most p × DefaultAgeStep in the queue.
+const DefaultAgeStep = 500 * time.Millisecond
+
+// maxAgeBoost caps the aging boost so pathological wait times cannot
+// overflow the effective priority arithmetic.
+const maxAgeBoost = 1 << 20
+
+// PriorityConfig tunes the Prioritized policy.
+type PriorityConfig struct {
+	// AgeStep is the aging interval: one effective priority level gained
+	// per AgeStep waited. 0 = DefaultAgeStep; negative disables aging
+	// (strict priorities, starvation possible).
+	AgeStep time.Duration
+}
+
+// priorityPolicy is EDF-within-priority with aging and fair-share
+// tie-breaking.
+type priorityPolicy struct {
+	ageStep time.Duration
+}
+
+// Prioritized builds the priority scheduler: effective priority (base +
+// aging boost) descending, then earliest deadline first (no deadline sorts
+// last), then lowest fair-share load, then arrival order.
+func Prioritized(cfg PriorityConfig) Policy {
+	step := cfg.AgeStep
+	if step == 0 {
+		step = DefaultAgeStep
+	}
+	if step < 0 {
+		step = 0 // aging disabled
+	}
+	return priorityPolicy{ageStep: step}
+}
+
+// Default is the scheduler used when no policy is configured: Prioritized
+// with the default aging step.
+func Default() Policy { return Prioritized(PriorityConfig{}) }
+
+// Name implements Policy.
+func (priorityPolicy) Name() string { return "priority" }
+
+// effective is the waiter's aged priority at now.
+func (p priorityPolicy) effective(w Waiter, now time.Time) int {
+	if p.ageStep <= 0 {
+		return w.Class.Priority
+	}
+	waited := now.Sub(w.Since)
+	if waited <= 0 {
+		return w.Class.Priority
+	}
+	boost := int(waited / p.ageStep)
+	if boost > maxAgeBoost {
+		boost = maxAgeBoost
+	}
+	return w.Class.Priority + boost
+}
+
+// Less implements Policy.
+func (p priorityPolicy) Less(a, b Waiter, now time.Time) bool {
+	pa, pb := p.effective(a, now), p.effective(b, now)
+	if pa != pb {
+		return pa > pb
+	}
+	da, db := a.Class.Deadline, b.Class.Deadline
+	switch {
+	case !da.IsZero() && !db.IsZero():
+		if !da.Equal(db) {
+			return da.Before(db)
+		}
+	case !da.IsZero() || !db.IsZero():
+		return !da.IsZero() // a real deadline beats none
+	}
+	if a.Load != b.Load {
+		return a.Load < b.Load
+	}
+	return a.Seq < b.Seq
+}
+
+// fifoPolicy is strict arrival order.
+type fifoPolicy struct{}
+
+// FIFO builds the arrival-order scheduler — the pre-sched behaviour.
+// Quotas still apply (enforcement is the queue's, not the policy's); only
+// the ordering ignores priority, deadline and fairness.
+func FIFO() Policy { return fifoPolicy{} }
+
+// Name implements Policy.
+func (fifoPolicy) Name() string { return "fifo" }
+
+// Less implements Policy.
+func (fifoPolicy) Less(a, b Waiter, _ time.Time) bool { return a.Seq < b.Seq }
+
+// PolicyNames lists the canonical names ParsePolicy accepts, default first.
+func PolicyNames() []string { return []string{"priority", "fifo"} }
+
+// ParsePolicy maps a policy name to its Policy ("" = the default priority
+// scheduler) — the shared knob parser of every CLI's -sched flag.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "", "priority":
+		return Default(), nil
+	case "fifo":
+		return FIFO(), nil
+	}
+	return nil, fmt.Errorf("sched: unknown policy %q (want priority, fifo)", name)
+}
+
+// Config tunes a scheduled queue (TaskQueue or Semaphore).
+type Config struct {
+	// Policy orders waiting jobs; nil = Default().
+	Policy Policy
+	// Quota caps concurrently running jobs per client (0 = unlimited).
+	// Jobs over quota stay queued — they are deferred, never rejected.
+	Quota int
+	// Now overrides the clock, for deterministic aging tests. nil =
+	// time.Now.
+	Now func() time.Time
+}
+
+func (c Config) policy() Policy {
+	if c.Policy == nil {
+		return Default()
+	}
+	return c.Policy
+}
+
+func (c Config) now() time.Time {
+	if c.Now == nil {
+		return time.Now()
+	}
+	return c.Now()
+}
+
+// waiter is the queue-internal bookkeeping shared by TaskQueue and
+// Semaphore; each uses its own payload fields.
+type waiter struct {
+	class Class
+	seq   uint64
+	since time.Time
+
+	// TaskQueue payload.
+	run func(wait time.Duration)
+
+	// Semaphore payload.
+	grant   chan Grant
+	granted bool
+}
+
+// pickBest returns the index of the best eligible waiter in ws at now, or
+// -1 when every waiter is quota-blocked (or ws is empty). running counts
+// per-client holders; it both enforces Config.Quota and feeds the policy's
+// fair-share load.
+func pickBest(cfg Config, ws []*waiter, running map[string]int, now time.Time) int {
+	pol := cfg.policy()
+	best := -1
+	var bw Waiter
+	for i, w := range ws {
+		if cfg.Quota > 0 && running[w.class.Client] >= cfg.Quota {
+			continue
+		}
+		cand := Waiter{
+			Class: w.class, Seq: w.seq, Since: w.since,
+			Load: float64(running[w.class.Client]) / w.class.weight(),
+		}
+		if best < 0 || pol.Less(cand, bw, now) {
+			best, bw = i, cand
+		}
+	}
+	return best
+}

@@ -1,0 +1,169 @@
+package sched
+
+import (
+	"context"
+	"sync"
+)
+
+// Grant is one successful Semaphore acquisition.
+type Grant struct {
+	// Board is the granted board index in [0, capacity).
+	Board int
+	// Reconfig reports that the board's last configuration differs from
+	// the acquiring class's Job (including a board's first use, which must
+	// load its bitstream) — the condition that charges the modeled
+	// reconfiguration delay.
+	Reconfig bool
+	// Contended reports the acquisition had to wait for a board instead of
+	// being granted on arrival.
+	Contended bool
+}
+
+// Semaphore is a scheduled counting semaphore over identified board tokens:
+// batch.Device's replacement for its FIFO channel semaphore. Waiters are
+// granted boards in Policy order rather than arrival order, and each board
+// remembers its last holder's configuration so the device model can charge
+// reconfiguration only when consecutive holders differ. Board assignment is
+// affinity-aware: a free board already configured for the acquiring job is
+// preferred, minimizing modeled reconfigurations.
+type Semaphore struct {
+	mu  sync.Mutex
+	cfg Config
+
+	lastJob []string // per board: last holder's Class.Job ("" = never used)
+	inUse   []bool
+	free    int
+	waiters []*waiter
+	running map[string]int // per-client board holders (fair-share load)
+	seq     uint64
+}
+
+// NewSemaphore builds a semaphore over capacity boards (capacity < 1 is
+// clamped to 1).
+func NewSemaphore(capacity int, cfg Config) *Semaphore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Semaphore{
+		cfg:     cfg,
+		lastJob: make([]string, capacity),
+		inUse:   make([]bool, capacity),
+		free:    capacity,
+		running: make(map[string]int),
+	}
+}
+
+// Capacity returns the board count.
+func (s *Semaphore) Capacity() int { return len(s.lastJob) }
+
+// Acquire blocks until the scheduler grants the caller a board or ctx is
+// canceled. The caller must Release the granted board with the same class.
+func (s *Semaphore) Acquire(ctx context.Context, class Class) (Grant, error) {
+	s.mu.Lock()
+	w := &waiter{
+		class: class, seq: s.seq, since: s.cfg.now(),
+		grant: make(chan Grant, 1),
+	}
+	s.seq++
+	s.waiters = append(s.waiters, w)
+	s.dispatch()
+	granted := w.granted
+	s.mu.Unlock()
+
+	if granted {
+		return <-w.grant, nil
+	}
+	select {
+	case g := <-w.grant:
+		g.Contended = true
+		return g, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: hand the board straight
+			// back and let the next waiter have it.
+			g := <-w.grant
+			s.releaseLocked(g.Board, class)
+		} else {
+			for i, o := range s.waiters {
+				if o == w {
+					s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+					break
+				}
+			}
+		}
+		s.mu.Unlock()
+		return Grant{}, ctx.Err()
+	}
+}
+
+// Release returns a granted board; class must match the Acquire that was
+// granted it (it keys the fair-share accounting).
+func (s *Semaphore) Release(board int, class Class) {
+	s.mu.Lock()
+	s.releaseLocked(board, class)
+	s.mu.Unlock()
+}
+
+// Invalidate clears a board's remembered configuration — the holder's
+// programming was aborted, so the board carries no usable bitstream and
+// the next holder must reconfigure whoever it is. Call before Release.
+func (s *Semaphore) Invalidate(board int) {
+	s.mu.Lock()
+	if board >= 0 && board < len(s.lastJob) {
+		s.lastJob[board] = ""
+	}
+	s.mu.Unlock()
+}
+
+func (s *Semaphore) releaseLocked(board int, class Class) {
+	if board < 0 || board >= len(s.inUse) || !s.inUse[board] {
+		return
+	}
+	s.inUse[board] = false
+	s.free++
+	s.running[class.Client]--
+	if s.running[class.Client] <= 0 {
+		delete(s.running, class.Client)
+	}
+	s.dispatch()
+}
+
+// dispatch grants free boards to waiters in policy order. Caller holds mu.
+func (s *Semaphore) dispatch() {
+	now := s.cfg.now()
+	for s.free > 0 && len(s.waiters) > 0 {
+		i := pickBest(s.cfg, s.waiters, s.running, now)
+		if i < 0 {
+			return
+		}
+		w := s.waiters[i]
+		s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+		b := s.chooseBoard(w.class.Job)
+		s.inUse[b] = true
+		s.free--
+		reconfig := w.class.Job == "" || s.lastJob[b] != w.class.Job
+		s.lastJob[b] = w.class.Job
+		s.running[w.class.Client]++
+		w.granted = true
+		w.grant <- Grant{Board: b, Reconfig: reconfig}
+	}
+}
+
+// chooseBoard picks a free board, preferring one already configured for
+// job (skipping a reconfiguration); ties fall to the lowest index.
+func (s *Semaphore) chooseBoard(job string) int {
+	first := -1
+	for b := range s.inUse {
+		if s.inUse[b] {
+			continue
+		}
+		if job != "" && s.lastJob[b] == job {
+			return b
+		}
+		if first < 0 {
+			first = b
+		}
+	}
+	return first
+}

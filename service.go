@@ -3,12 +3,15 @@ package flex
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/flex-eda/flex/internal/batch"
 	"github.com/flex-eda/flex/internal/cache"
 	"github.com/flex-eda/flex/internal/gen"
+	"github.com/flex-eda/flex/internal/sched"
 )
 
 // ErrOverloaded rejects a submission that does not fit the service's queue
@@ -20,6 +23,71 @@ var ErrOverloaded = errors.New("flex: service overloaded (queue full)")
 // ErrServiceClosed rejects submissions after Service.Close.
 var ErrServiceClosed = errors.New("flex: service closed")
 
+// ErrClientOverloaded rejects a submission whose jobs would push one client
+// past the service's per-client admission bound (WithClientQueueDepth).
+// Match it with errors.Is; the concrete error is a *ClientOverloadedError
+// naming the client, so servers can shed load per tenant with an honest
+// Retry-After while other tenants keep submitting.
+var ErrClientOverloaded = errors.New("flex: client queue full")
+
+// ClientOverloadedError is the concrete per-client admission rejection.
+type ClientOverloadedError struct {
+	// Client is the tenant whose admission bound the submission tripped.
+	Client string
+}
+
+// Error implements error.
+func (e *ClientOverloadedError) Error() string {
+	return fmt.Sprintf("flex: client %q queue full", e.Client)
+}
+
+// Is matches ErrClientOverloaded.
+func (e *ClientOverloadedError) Is(target error) bool { return target == ErrClientOverloaded }
+
+// Scheduler selects the policy ordering every queue a job waits in — for a
+// worker at admission and for a modeled FPGA board.
+type Scheduler int
+
+const (
+	// SchedulerPriority is the default: jobs dequeue by effective priority
+	// (BatchJob.Priority plus one level per aging step waited, so nothing
+	// starves), earliest deadline first within a level, then weighted fair
+	// share across clients, then arrival order.
+	SchedulerPriority Scheduler = iota
+	// SchedulerFIFO dequeues strictly in arrival order — the pre-scheduler
+	// behaviour. Per-client quotas still apply; priority, deadline and
+	// fairness are ignored (deadlines still expire jobs).
+	SchedulerFIFO
+)
+
+// String names the scheduler as ParseScheduler accepts it.
+func (s Scheduler) String() string {
+	if s == SchedulerFIFO {
+		return "fifo"
+	}
+	return "priority"
+}
+
+// ParseScheduler maps a scheduler name ("priority", "fifo"; "" = priority)
+// to its Scheduler — the shared parser behind every CLI's -sched flag.
+func ParseScheduler(name string) (Scheduler, error) {
+	switch name {
+	case "", "priority":
+		return SchedulerPriority, nil
+	case "fifo":
+		return SchedulerFIFO, nil
+	}
+	return 0, fmt.Errorf("flex: unknown scheduler %q (want priority, fifo)", name)
+}
+
+// policy resolves the internal scheduling policy.
+func (s Scheduler) policy() sched.Policy {
+	if s == SchedulerFIFO {
+		return sched.FIFO()
+	}
+	return sched.Default()
+}
+
 // serviceConfig collects the functional options.
 type serviceConfig struct {
 	workers        int
@@ -29,6 +97,11 @@ type serviceConfig struct {
 	shards         int
 	shardHalo      int
 	autoShardBytes int64
+	scheduler      Scheduler
+	clientQuota    int
+	clientDepth    int
+	clientWeights  map[string]int
+	reconfigCost   time.Duration
 }
 
 // ServiceOption configures NewService.
@@ -84,6 +157,60 @@ func WithAutoShardBytes(b int64) ServiceOption {
 	return func(c *serviceConfig) { c.autoShardBytes = b }
 }
 
+// WithScheduler selects the policy ordering every queue a job waits in —
+// worker admission and board acquisition. The default is SchedulerPriority
+// (priority + deadline + aging + fairness); SchedulerFIFO restores strict
+// arrival order. Scheduling changes when jobs run, never what they compute:
+// results stay byte-identical across schedulers for any fixed job set.
+func WithScheduler(s Scheduler) ServiceOption {
+	return func(c *serviceConfig) { c.scheduler = s }
+}
+
+// WithClientQuota caps one client's concurrently running jobs (0 = the
+// default, unlimited). Jobs over quota stay queued — deferred behind the
+// client's own traffic, never rejected — so one tenant cannot occupy every
+// worker while others wait. A sharded job's bands each count against the
+// owner's quota.
+func WithClientQuota(n int) ServiceOption {
+	return func(c *serviceConfig) { c.clientQuota = n }
+}
+
+// WithClientQueueDepth bounds one client's admitted jobs — queued plus
+// running, each band of a sharded job counted separately (0 = the default,
+// unbounded). A submission that would push any of its clients past the
+// bound is rejected atomically with a *ClientOverloadedError naming the
+// client; flexserve maps it to a per-client 429 whose Retry-After is
+// derived from that client's actual backlog.
+func WithClientQueueDepth(d int) ServiceOption {
+	return func(c *serviceConfig) { c.clientDepth = d }
+}
+
+// WithClientWeight sets a client's fair-share weight (default 1): at equal
+// effective priority and deadline the scheduler grants capacity to the
+// client with the lowest running/weight ratio, so a weight-2 client
+// sustains twice a weight-1 sibling's throughput under contention.
+func WithClientWeight(client string, weight int) ServiceOption {
+	return func(c *serviceConfig) {
+		if c.clientWeights == nil {
+			c.clientWeights = make(map[string]int)
+		}
+		c.clientWeights[client] = weight
+	}
+}
+
+// WithReconfigCost sets the modeled FPGA reconfiguration delay: whenever a
+// board's next holder runs a different job than its previous one (each
+// board's first use included), the board stays busy for d before the job's
+// device phase starts — the bitstream-swap cost a shared physical card
+// pays. Board assignment is affinity-aware, so same-job (and same sharded
+// owner) acquisitions reuse a warm board free of charge. The charge lands
+// in wall-clock, DeviceStats and BatchSummary.ReconfigSeconds — never in an
+// Outcome's ModeledSeconds, which stays a pure function of the design.
+// 0 (the default) counts reconfigurations without charging time.
+func WithReconfigCost(d time.Duration) ServiceOption {
+	return func(c *serviceConfig) { c.reconfigCost = d }
+}
+
 // Service is a long-lived legalization service: it owns the worker pool,
 // the modeled FPGA board pool, and the layout cache that a sequence of
 // batch submissions — a CLI run, an HTTP server's traffic — share. Where
@@ -104,18 +231,28 @@ type Service struct {
 	layouts *cache.LRU // nil = caching disabled
 	depth   int
 
+	// Scheduling policy (see WithScheduler / WithClientQuota /
+	// WithClientQueueDepth / WithClientWeight / WithReconfigCost).
+	scheduler     Scheduler
+	clientQuota   int
+	clientDepth   int
+	clientWeights map[string]int
+	reconfigCost  time.Duration
+	batchSeq      atomic.Int64 // distinguishes submissions' board configs
+
 	// Sharding policy (see WithShards / WithShardHalo / WithAutoShardBytes).
 	shards         int
 	shardHalo      int
 	autoShardBytes int64
 
-	mu         sync.Mutex
-	batches    int64
-	jobs       int64
-	sharded    int64
-	errs       int64
-	skipped    int64
-	overloaded int64
+	mu               sync.Mutex
+	batches          int64
+	jobs             int64
+	sharded          int64
+	errs             int64
+	skipped          int64
+	overloaded       int64
+	clientOverloaded int64
 }
 
 // NewService builds and starts a Service. Callers must Close it to release
@@ -129,8 +266,18 @@ func NewService(opts ...ServiceOption) *Service {
 		cfg.shardHalo = DefaultShardHalo
 	}
 	s := &Service{
-		pool:           batch.NewPool(batch.PoolConfig{Workers: cfg.workers, FPGAs: cfg.fpgas, QueueDepth: cfg.queueDepth}),
+		pool: batch.NewPool(batch.PoolConfig{
+			Workers: cfg.workers, FPGAs: cfg.fpgas, QueueDepth: cfg.queueDepth,
+			Policy:      cfg.scheduler.policy(),
+			ClientQuota: cfg.clientQuota, ClientDepth: cfg.clientDepth,
+			ReconfigCost: cfg.reconfigCost,
+		}),
 		depth:          cfg.queueDepth,
+		scheduler:      cfg.scheduler,
+		clientQuota:    cfg.clientQuota,
+		clientDepth:    cfg.clientDepth,
+		clientWeights:  cfg.clientWeights,
+		reconfigCost:   cfg.reconfigCost,
 		shards:         cfg.shards,
 		shardHalo:      cfg.shardHalo,
 		autoShardBytes: cfg.autoShardBytes,
@@ -172,7 +319,7 @@ func (s *Service) Submit(ctx context.Context, jobs []BatchJob, opt SubmitOptions
 			opt.OnResult(br)
 		}
 	})
-	_, st, err := batch.RunOn(ctx, s.pool, e.pool, opt.FailFast, col.observe)
+	_, st, err := batch.RunClassedOn(ctx, s.pool, e.pool, e.classes, opt.FailFast, col.observe)
 	if rejected := s.admissionError(err); rejected != nil {
 		return nil, rejected
 	}
@@ -183,7 +330,10 @@ func (s *Service) Submit(ctx context.Context, jobs []BatchJob, opt SubmitOptions
 		Wall:    st.Wall, WorkWall: st.WorkWall,
 		FPGAs:      st.FPGAs,
 		DeviceWait: st.DeviceWait, DeviceHold: st.DeviceHold,
+		SchedWait: st.SchedWait,
+		Reconfigs: st.DeviceReconfigs,
 	}
+	sum.ReconfigSeconds = st.DeviceReconfigTime.Seconds()
 	for _, br := range col.results {
 		switch {
 		case IsBatchSkipped(br.Err):
@@ -194,6 +344,11 @@ func (s *Service) Submit(ctx context.Context, jobs []BatchJob, opt SubmitOptions
 			sum.ModeledSeconds += br.Outcome.ModeledSeconds
 		}
 	}
+	// Board programming kept the modeled accelerator busy too: fold the
+	// schedule's reconfiguration overhead into the batch total (zero
+	// unless WithReconfigCost is set; per-Outcome modeled seconds stay
+	// pure functions of the design).
+	sum.ModeledSeconds += sum.ReconfigSeconds
 	s.account(len(jobs), col.sharded, sum.Errors, sum.Skipped)
 	return sum, err
 }
@@ -214,7 +369,7 @@ func (s *Service) Stream(ctx context.Context, jobs []BatchJob, opt SubmitOptions
 // wrapper can tear its throwaway service down once the channel closes.
 func (s *Service) stream(ctx context.Context, jobs []BatchJob, opt SubmitOptions, onDrained func()) (<-chan BatchResult, error) {
 	e := s.expand(jobs)
-	in, err := batch.StreamOn(ctx, s.pool, e.pool, opt.FailFast)
+	in, err := batch.StreamClassedOn(ctx, s.pool, e.pool, e.classes, opt.FailFast)
 	if rejected := s.admissionError(err); rejected != nil {
 		return nil, rejected
 	}
@@ -249,7 +404,13 @@ func (s *Service) stream(ctx context.Context, jobs []BatchJob, opt SubmitOptions
 // sentinels and counts them; any other error passes through as nil (it is
 // a batch-level error the caller still gets alongside results).
 func (s *Service) admissionError(err error) error {
+	var coe *batch.ClientOverloadedError
 	switch {
+	case errors.As(err, &coe):
+		s.mu.Lock()
+		s.clientOverloaded++
+		s.mu.Unlock()
+		return &ClientOverloadedError{Client: coe.Client}
 	case errors.Is(err, batch.ErrOverloaded):
 		s.mu.Lock()
 		s.overloaded++
@@ -286,6 +447,9 @@ type ServiceStats struct {
 	// delivered; Errors jobs that ran and failed; Skipped jobs canceled
 	// before starting; Overloaded submissions rejected at admission.
 	Batches, Jobs, Errors, Skipped, Overloaded int64
+	// ClientOverloaded counts submissions rejected by a per-client
+	// admission bound (WithClientQueueDepth).
+	ClientOverloaded int64
 	// ShardedJobs counts the jobs that took the row-band shard path
 	// (BatchJob.Shards, WithShards, or auto-sharding).
 	ShardedJobs int64
@@ -295,9 +459,29 @@ type ServiceStats struct {
 	// close the service is to shedding load; flexserve derives its 429
 	// Retry-After from it.
 	QueuedJobs int
+	// QueuedByPriority buckets the jobs currently waiting for a worker by
+	// their base priority — the per-class queue depths /v1/stats serves.
+	QueuedByPriority map[int]int
+	// QueuedByClient buckets waiting jobs by client; RunningByClient
+	// counts each client's jobs currently occupying a worker (the set a
+	// client quota caps).
+	QueuedByClient  map[string]int
+	RunningByClient map[string]int
 	// Workers is the persistent pool size; FPGAs the modeled board count
 	// (0 = unlimited); QueueDepth the admission bound (0 = unbounded).
 	Workers, FPGAs, QueueDepth int
+	// Scheduler names the active policy ("priority" or "fifo");
+	// ClientQuota and ClientQueueDepth echo the per-client bounds (0 =
+	// unlimited); ReconfigCost the modeled per-swap board programming
+	// delay.
+	Scheduler                     string
+	ClientQuota, ClientQueueDepth int
+	ReconfigCost                  time.Duration
+	// Reconfigs counts board reconfigurations across every submission
+	// (consecutive holders from different jobs, first board use included);
+	// ReconfigTime is the modeled programming time they charged.
+	Reconfigs    int
+	ReconfigTime time.Duration
 	// Cache accounting (all zero when caching is disabled): hits count
 	// lookups that skipped regeneration, including waiters that joined an
 	// in-flight generation.
@@ -325,23 +509,41 @@ func (s *Service) Stats() ServiceStats {
 	st := ServiceStats{
 		Batches: s.batches, Jobs: s.jobs, Errors: s.errs,
 		Skipped: s.skipped, Overloaded: s.overloaded,
-		ShardedJobs: s.sharded,
-		Workers:     s.pool.Workers(), QueueDepth: s.depth,
-		QueuedJobs: s.pool.Admitted(),
+		ClientOverloaded: s.clientOverloaded,
+		ShardedJobs:      s.sharded,
+		Workers:          s.pool.Workers(), QueueDepth: s.depth,
+		QueuedJobs:   s.pool.Admitted(),
+		Scheduler:    s.scheduler.String(),
+		ClientQuota:  s.clientQuota,
+		ReconfigCost: s.reconfigCost,
 	}
+	st.ClientQueueDepth = s.clientDepth
 	s.mu.Unlock()
+	d := s.pool.Depths()
+	st.QueuedByPriority = d.WaitingByPriority
+	st.QueuedByClient = d.WaitingByClient
+	st.RunningByClient = d.RunningByClient
 	if s.layouts != nil {
 		cs := s.layouts.Stats()
 		st.CacheHits, st.CacheMisses, st.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
 		st.CacheEntries, st.CacheBytes, st.CacheMaxBytes = cs.Entries, cs.Bytes, cs.MaxBytes
 	}
-	if d := s.pool.Device(); d != nil {
-		ds := d.Stats()
+	if dev := s.pool.Device(); dev != nil {
+		ds := dev.Stats()
 		st.FPGAs = ds.Capacity
 		st.DeviceWait, st.DeviceHold = ds.Wait, ds.Hold
 		st.DeviceAcquires, st.DeviceContended = ds.Acquires, ds.Contended
+		st.Reconfigs, st.ReconfigTime = ds.Reconfigs, ds.ReconfigTime
 	}
 	return st
+}
+
+// ClientQueued returns the named client's admitted-and-undelivered job
+// count right now (each band of a sharded job counted separately) — the
+// occupancy WithClientQueueDepth bounds, and the honest basis of a
+// per-client 429 Retry-After.
+func (s *Service) ClientQueued(client string) int {
+	return s.pool.AdmittedByClient(client)
 }
 
 // generate resolves a job's (design, scale) reference, through the layout

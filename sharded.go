@@ -9,6 +9,7 @@ import (
 	"github.com/flex-eda/flex/internal/batch"
 	"github.com/flex-eda/flex/internal/gen"
 	"github.com/flex-eda/flex/internal/model"
+	"github.com/flex-eda/flex/internal/sched"
 	"github.com/flex-eda/flex/internal/shard"
 )
 
@@ -56,16 +57,34 @@ type shardState struct {
 // results back into one BatchResult per submitted job. Admission control
 // counts the expanded jobs: a K-sharded job occupies K queue slots.
 type expansion struct {
-	jobs   []BatchJob
-	shards []int                 // per job: 0 = plain path, >= 1 = shard path with K bands
-	pool   []batch.Job[*Outcome] // the flattened pool jobs
-	origin []jobOrigin           // pool index -> submitted job
-	states []*shardState         // per job; nil for plain jobs
+	jobs    []BatchJob
+	shards  []int                 // per job: 0 = plain path, >= 1 = shard path with K bands
+	pool    []batch.Job[*Outcome] // the flattened pool jobs
+	classes []sched.Class         // per pool job; bands share the owner's class
+	origin  []jobOrigin           // pool index -> submitted job
+	states  []*shardState         // per job; nil for plain jobs
+}
+
+// classFor stamps one submitted job's scheduling class: priority, deadline
+// and client straight from the job, the fair-share weight from the
+// service's per-client table, and a board-configuration identity unique to
+// (submission, job) so the reconfiguration model sees a job's bands as one
+// bitstream and distinct jobs as distinct ones.
+func (s *Service) classFor(job BatchJob, seq int64, j int) sched.Class {
+	return sched.Class{
+		Priority: job.Priority,
+		Deadline: job.Deadline,
+		Client:   job.Client,
+		Weight:   s.clientWeights[job.Client],
+		Job:      fmt.Sprintf("%d.%d", seq, j),
+	}
 }
 
 // expand flattens one submission, deciding each job's effective shard count
-// (job knob, then service default, then the auto-shard byte threshold).
+// (job knob, then service default, then the auto-shard byte threshold) and
+// stamping every pool job's scheduling class.
 func (s *Service) expand(jobs []BatchJob) *expansion {
+	seq := s.batchSeq.Add(1)
 	e := &expansion{
 		jobs:   jobs,
 		shards: make([]int, len(jobs)),
@@ -73,10 +92,12 @@ func (s *Service) expand(jobs []BatchJob) *expansion {
 	}
 	for j := range jobs {
 		job := jobs[j]
+		class := s.classFor(job, seq, j)
 		k := s.effectiveShards(job)
 		e.shards[j] = k
 		if k == 0 {
 			e.pool = append(e.pool, job.job(s.generate))
+			e.classes = append(e.classes, class)
 			e.origin = append(e.origin, jobOrigin{owner: j})
 			continue
 		}
@@ -91,6 +112,7 @@ func (s *Service) expand(jobs []BatchJob) *expansion {
 		e.states[j] = st
 		for b := 0; b < k; b++ {
 			e.pool = append(e.pool, bandJob(job, st, b))
+			e.classes = append(e.classes, class)
 			e.origin = append(e.origin, jobOrigin{owner: j, band: b})
 		}
 	}
@@ -148,18 +170,51 @@ func jobApproxBytes(j BatchJob) int64 {
 }
 
 // prepareShards resolves a sharded job's layout and splits it into its
-// band layouts.
+// band layouts. For design-reference jobs on a caching service the whole
+// decomposition is memoized by (design, scale, seed, bands, halo), so a
+// warm sharded job skips the re-split (and the layout resolution under it):
+// splitting is pure, band layouts are shared safely because engines
+// legalize clones, and Stitch builds a fresh layout without mutating its
+// inputs.
 func (s *Service) prepareShards(job BatchJob, k int) (*shardPrep, error) {
-	l, err := job.resolveLayout(s.generate)
-	if err != nil {
-		return nil, err
-	}
 	halo := job.ShardHalo
 	if halo == 0 {
 		halo = s.shardHalo
 	}
 	if halo < 0 {
 		halo = 0
+	}
+	if s.layouts != nil && job.Layout == nil {
+		if spec, ok := gen.ByName(job.Design); ok {
+			key := fmt.Sprintf("%s|bands=%d|halo=%d", spec.CacheKey(job.effectiveScale()), k, halo)
+			v, err := s.layouts.Do(key, func() (any, int64, error) {
+				p, err := s.splitShards(job, k, halo)
+				if err != nil {
+					return nil, 0, err
+				}
+				// The prep's resident cost is its band layouts; the whole-die
+				// layout is accounted by its own cache entry.
+				var size int64
+				for _, b := range p.bands {
+					size += b.ApproxBytes()
+				}
+				return p, size, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return v.(*shardPrep), nil
+		}
+	}
+	return s.splitShards(job, k, halo)
+}
+
+// splitShards is the uncached decomposition: resolve the layout, plan the
+// bands, split.
+func (s *Service) splitShards(job BatchJob, k, halo int) (*shardPrep, error) {
+	l, err := job.resolveLayout(s.generate)
+	if err != nil {
+		return nil, err
 	}
 	plan, err := shard.PlanBands(l, k, halo)
 	if err != nil {
