@@ -2,7 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check doccheck lint test race bench ci
+.PHONY: all build vet fmt-check doccheck lint test race bench bench-record benchdiff ci
+
+# The canonical perf-trajectory recording command (docs/BENCHMARKING.md).
+# -workers 1 keeps reconfiguration counts deterministic so the file is
+# byte-stable across runs.
+BENCH_RECORD_FLAGS = -exp bench -scale 0.01 -workers 1 -fpgas 1 -cache-mb 64 \
+	-shards 4 -shard-halo 2 -sched-jobs 4
 
 all: build
 
@@ -34,4 +40,13 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-ci: build lint race bench
+# Record a fresh trajectory point (stdout tables discarded; stderr kept).
+bench-record:
+	$(GO) run ./cmd/flexbench $(BENCH_RECORD_FLAGS) -bench-out BENCH_new.json > /dev/null
+
+# Gate BENCH_new.json against the newest committed trajectory point.
+benchdiff: bench-record
+	$(GO) run ./cmd/benchdiff -op-tol 0 \
+		$$(ls BENCH_[0-9]*.json | sort -t_ -k2 -n | tail -1) BENCH_new.json
+
+ci: build lint race bench benchdiff

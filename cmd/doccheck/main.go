@@ -1,22 +1,33 @@
 // Command doccheck is the documentation gate CI runs next to go vet and
-// gofmt: it fails when the public API or a package is missing godoc.
+// gofmt: it fails when the public API or a package is missing godoc, or
+// when the prose documentation drifts from the tree it describes.
 //
 // Usage:
 //
 //	doccheck [-root .]
 //
-// Two rules, both over non-test files:
+// Four rules:
 //
 //  1. Every package in the module (the public flex root, internal/*, cmd/*,
 //     examples/*) must carry a package doc comment ("// Package ..." or a
 //     command comment on package main), so `go doc` output is
-//     self-explanatory.
+//     self-explanatory. Non-test files only.
 //  2. Every exported top-level identifier in the public flex package — types,
 //     functions, methods, and each exported const/var (its declaration group
 //     counts) — must have a doc comment.
+//  3. Every file or directory referenced from README.md or docs/*.md must
+//     exist: markdown link targets (relative, non-URL, fragment stripped)
+//     resolve against the document's directory; inline-code path tokens —
+//     space-free, starting with internal/, cmd/, docs/ or examples/, or
+//     ending in .go or .md — resolve against the repo root (or the
+//     document's directory). Globs and placeholders are skipped.
+//  4. The package map table in docs/ARCHITECTURE.md and the tree must agree
+//     both ways: every `internal/...` or `cmd/...` token in the table's
+//     first column is a real directory, and every internal/* package in the
+//     tree has a row naming it.
 //
-// Violations print one "path: identifier" line each and the exit status is
-// non-zero, so the CI log names exactly what to document.
+// Violations print one "path: problem" line each and the exit status is
+// non-zero, so the CI log names exactly what to fix.
 package main
 
 import (
@@ -28,6 +39,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -50,12 +62,24 @@ func main() {
 			problems = append(problems, checkExported(p)...)
 		}
 	}
+	docProblems, err := checkDocs(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	problems = append(problems, docProblems...)
+	mapProblems, err := checkPackageMap(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	problems = append(problems, mapProblems...)
 	sort.Strings(problems)
 	for _, p := range problems {
 		fmt.Fprintln(os.Stderr, p)
 	}
 	if len(problems) > 0 {
-		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented identifiers/packages\n", len(problems))
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(problems))
 		os.Exit(1)
 	}
 	fmt.Println("doccheck: ok")
@@ -191,4 +215,147 @@ func funcName(d *ast.FuncDecl) string {
 		return fmt.Sprintf("method (%s) %s", r, d.Name.Name)
 	}
 	return "func " + d.Name.Name
+}
+
+var (
+	mdLink     = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	inlineCode = regexp.MustCompile("`([^`\n]+)`")
+	pathPrefix = regexp.MustCompile(`^(internal|cmd|docs|examples)/`)
+)
+
+// docFiles lists the prose documents rule 3 scans: README.md plus docs/*.md.
+func docFiles(root string) ([]string, error) {
+	files, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	if readme := filepath.Join(root, "README.md"); exists(readme) {
+		files = append(files, readme)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// checkDocs verifies that every file or directory referenced from the prose
+// documentation exists, so the docs cannot silently drift from the tree.
+func checkDocs(root string) ([]string, error) {
+	files, err := docFiles(root)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, path := range files {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		rel, _ := filepath.Rel(root, path)
+		text := stripFenced(string(b))
+		dir := filepath.Dir(path)
+		for _, m := range mdLink.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" || !exists(filepath.Join(dir, target)) {
+				problems = append(problems, fmt.Sprintf("%s: link target %q does not exist", rel, m[1]))
+			}
+		}
+		for _, m := range inlineCode.FindAllStringSubmatch(text, -1) {
+			tok := strings.TrimRight(m[1], ".,:;")
+			if strings.ContainsAny(tok, " *|…") {
+				continue // not a single path, or a glob/placeholder
+			}
+			if !pathPrefix.MatchString(tok) && !strings.HasSuffix(tok, ".go") && !strings.HasSuffix(tok, ".md") {
+				continue
+			}
+			if !exists(filepath.Join(root, tok)) && !exists(filepath.Join(dir, tok)) {
+				problems = append(problems, fmt.Sprintf("%s: referenced path `%s` does not exist", rel, tok))
+			}
+		}
+	}
+	return problems, nil
+}
+
+// checkPackageMap verifies docs/ARCHITECTURE.md's package-map table against
+// the tree, both ways: every internal/cmd token in the table's first column
+// is a real directory, and every internal/* package has a row.
+func checkPackageMap(root string) ([]string, error) {
+	path := filepath.Join(root, "docs", "ARCHITECTURE.md")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return []string{"docs/ARCHITECTURE.md: missing (the package map lives here)"}, nil
+		}
+		return nil, err
+	}
+	mapped := map[string]bool{}
+	var problems []string
+	inMap := false
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(line, "#") {
+			inMap = strings.Contains(line, "Package map")
+			continue
+		}
+		if !inMap || !strings.HasPrefix(line, "|") {
+			continue
+		}
+		cells := strings.SplitN(line, "|", 3)
+		if len(cells) < 3 {
+			continue
+		}
+		for _, m := range inlineCode.FindAllStringSubmatch(cells[1], -1) {
+			tok := m[1]
+			if !strings.Contains(tok, "/") {
+				continue // `flex` (root)
+			}
+			mapped[tok] = true
+			if !exists(filepath.Join(root, tok)) {
+				problems = append(problems, fmt.Sprintf("docs/ARCHITECTURE.md: package map names `%s`, which is not a directory", tok))
+			}
+		}
+	}
+	dirs, err := os.ReadDir(filepath.Join(root, "internal"))
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		if name := "internal/" + d.Name(); !mapped[name] {
+			problems = append(problems, fmt.Sprintf("docs/ARCHITECTURE.md: package map has no row for `%s`", name))
+		}
+	}
+	return problems, nil
+}
+
+// stripFenced blanks ``` fenced code blocks so shell examples and their
+// placeholder paths are not treated as references.
+func stripFenced(text string) string {
+	var out strings.Builder
+	fenced := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			out.WriteString("\n")
+			continue
+		}
+		if fenced {
+			out.WriteString("\n")
+			continue
+		}
+		out.WriteString(line)
+		out.WriteString("\n")
+	}
+	return out.String()
+}
+
+// exists reports whether path names an existing file or directory.
+func exists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }

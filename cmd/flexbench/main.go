@@ -4,11 +4,12 @@
 // Usage:
 //
 //	flexbench [-exp all|table1|table2|fig2a|fig2b|fig2c|fig2g|fig6g|fig8|fig9|fig10
-//	           |scalability|ordering|sharded|sched]
+//	           |scalability|ordering|sharded|sched|bench]
 //	          [-scale 0.02] [-designs name1,name2] [-threads 8] [-measure-original]
 //	          [-workers N] [-fpgas N] [-cache-mb M] [-repeat N]
 //	          [-shards K] [-shard-halo R]
 //	          [-sched priority|fifo] [-priority P] [-reconfig-ms D] [-sched-jobs J]
+//	          [-bench-out BENCH_n.json]
 //
 // -exp sharded runs the row-band sharding extension: each selected design
 // is split into -shards horizontal bands (with a -shard-halo seam window),
@@ -55,6 +56,18 @@
 // is reported per driver and per repetition on stderr, leaving stdout
 // comparable across configurations.
 //
+// -bench-out path writes the run's perf-trajectory record: one
+// internal/benchjson document with the deterministic facts — op counts,
+// modeled seconds, quality, cache and device counters — of every
+// (design, engine, config) the table1, sharded and sched drivers measured.
+// Wall clock never enters the file, so two runs of the same binary are
+// byte-identical and cmd/benchdiff can gate regressions in CI. -exp bench
+// is the canonical recording selection (exactly those three drivers); with
+// -repeat N only the first repetition records. Record with -workers 1:
+// board-reconfiguration counts are order-dependent under concurrency, and
+// flexbench warns when -bench-out runs with any other worker count. See
+// docs/BENCHMARKING.md for the methodology.
+//
 // Absolute numbers depend on the scale factor and the platform models; the
 // shapes (who wins, by what factor, where the crossovers are) are the
 // reproduction target. See docs/ARCHITECTURE.md for the system pipeline.
@@ -64,10 +77,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"github.com/flex-eda/flex/internal/batch"
+	"github.com/flex-eda/flex/internal/benchjson"
 	"github.com/flex-eda/flex/internal/cache"
 	"github.com/flex-eda/flex/internal/experiments"
 	"github.com/flex-eda/flex/internal/sched"
@@ -101,7 +116,7 @@ func reportStats(name string, st batch.Stats) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig2a, fig2b, fig2c, fig2g, fig6g, fig8, fig9, fig10, scalability, ordering, sharded, sched)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig2a, fig2b, fig2c, fig2g, fig6g, fig8, fig9, fig10, scalability, ordering, sharded, sched, bench)")
 	scale := flag.Float64("scale", 0.02, "benchmark scale factor (1.0 = paper-size designs)")
 	designs := flag.String("designs", "", "comma-separated design filter (default: all 16)")
 	threads := flag.Int("threads", 8, "CPU baseline thread count")
@@ -116,6 +131,7 @@ func main() {
 	priority := flag.Int("priority", 0, "scheduling priority stamped on every driver job (higher runs earlier)")
 	reconfigMS := flag.Int("reconfig-ms", 0, "modeled FPGA reconfiguration delay in ms when consecutive board holders differ (0 = counted, free)")
 	schedJobs := flag.Int("sched-jobs", 8, "jobs per priority class for -exp sched")
+	benchOut := flag.String("bench-out", "", "write the deterministic perf-trajectory record (BENCH_*.json) of the table1/sharded/sched drivers to this path")
 	flag.Parse()
 
 	policy, err := sched.ParsePolicy(*schedName)
@@ -139,6 +155,25 @@ func main() {
 		layouts = cache.New(int64(*cacheMB) << 20)
 	}
 
+	// -bench-out: collect the deterministic perf trajectory of this run.
+	// Only op counts, modeled seconds, quality and the deterministic
+	// service counters enter the file — never wall clock — so re-running
+	// the same binary yields byte-identical JSON.
+	var bench *benchjson.File
+	if *benchOut != "" {
+		bench = benchjson.New(
+			benchjson.Env{Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH},
+			benchjson.Config{
+				Scale: *scale, Designs: *designs, Threads: *threads,
+				Workers: *workers, FPGAs: *fpgas, CacheMB: *cacheMB,
+				Shards: *shards, ShardHalo: *shardHalo,
+				SchedJobs: *schedJobs, Sched: *schedName,
+			})
+		if *workers != 1 {
+			fmt.Fprintln(os.Stderr, "bench-out: board-reconfiguration counts are order-dependent with concurrent workers; record the trajectory with -workers 1 for byte-stable files")
+		}
+	}
+
 	opt := experiments.Options{
 		Scale:           *scale,
 		Threads:         *threads,
@@ -156,20 +191,48 @@ func main() {
 	// runWithStats drives one driver with a fresh stats sink and reports
 	// its scheduling behaviour; run additionally applies the -exp filter
 	// used by the paper experiments (the extension experiments below are
-	// excluded from "all" and filter themselves).
+	// excluded from "all" and filter themselves). -exp bench is the
+	// canonical recording selection: exactly the drivers that emit
+	// benchjson records.
+	benchable := map[string]bool{"table1": true, "sharded": true, "sched": true}
+	rep := 1
 	runWithStats := func(name string, f func(experiments.Options) error) {
 		var st batch.Stats
 		o := opt
 		o.Stats = &st
+		var rec *benchjson.Experiment
+		if bench != nil && rep == 1 && benchable[name] {
+			rec = bench.Experiment(name)
+			o.Bench = rec
+		}
+		var before cache.Stats
+		if layouts != nil {
+			before = layouts.Stats()
+		}
 		if err := f(o); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
 		reportStats(name, st)
+		if layouts != nil {
+			// Per-driver cache delta, every experiment alike, so the
+			// stderr accounting and the BENCH record agree.
+			after := layouts.Stats()
+			fmt.Fprintf(os.Stderr, "%s: cache +%d hits, +%d misses\n",
+				name, after.Hits-before.Hits, after.Misses-before.Misses)
+			if rec != nil {
+				rec.Cache = &benchjson.CacheStats{
+					Hits: after.Hits - before.Hits, Misses: after.Misses - before.Misses}
+			}
+		}
+		if rec != nil {
+			rec.Device = &benchjson.DeviceStats{
+				Acquires: int64(st.DeviceAcquires), Reconfigs: int64(st.DeviceReconfigs)}
+		}
 	}
 	ran := false
 	run := func(name string, f func(experiments.Options) error) {
-		if *exp != "all" && *exp != name {
+		if *exp != "all" && *exp != name && !(*exp == "bench" && name == "table1") {
 			return
 		}
 		ran = true
@@ -280,7 +343,7 @@ func main() {
 				return nil
 			})
 		}
-		if *exp == "sched" {
+		if *exp == "sched" || *exp == "bench" {
 			ran = true
 			fmt.Println("==> sched")
 			runWithStats("sched", func(o experiments.Options) error {
@@ -304,7 +367,7 @@ func main() {
 				return nil
 			})
 		}
-		if *exp == "sharded" {
+		if *exp == "sharded" || *exp == "bench" {
 			ran = true
 			fmt.Println("==> sharded")
 			runWithStats("sharded", func(o experiments.Options) error {
@@ -333,7 +396,7 @@ func main() {
 		*repeat = 1
 	}
 	var prev cache.Stats
-	for rep := 1; rep <= *repeat; rep++ {
+	for rep = 1; rep <= *repeat; rep++ {
 		start := time.Now()
 		runSelected()
 		if layouts != nil || *repeat > 1 {
@@ -351,7 +414,23 @@ func main() {
 	if !ran {
 		// A typoed -exp must not succeed vacuously — it would turn the
 		// CI byte-compare gate into cmp of two empty files.
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, table1, table2, fig2a, fig2b, fig2c, fig2g, fig6g, fig8, fig9, fig10, scalability, ordering, sharded, sched)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, table1, table2, fig2a, fig2b, fig2c, fig2g, fig6g, fig8, fig9, fig10, scalability, ordering, sharded, sched, bench)\n", *exp)
 		os.Exit(2)
+	}
+	if bench != nil {
+		recorded := 0
+		for _, e := range bench.Experiments {
+			recorded += len(e.Records)
+		}
+		if recorded == 0 {
+			fmt.Fprintf(os.Stderr, "bench-out: the selected experiments recorded nothing (only table1, sharded and sched record; use -exp bench)\n")
+			os.Exit(2)
+		}
+		if err := bench.WriteFile(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench-out: wrote %s (%d experiments, %d records)\n",
+			*benchOut, len(bench.Experiments), recorded)
 	}
 }

@@ -1,0 +1,209 @@
+// Package benchjson defines the BENCH_*.json schema: the persistent,
+// machine-readable performance trajectory of this repository.
+//
+// A BENCH file is the output of `flexbench -bench-out` and the input of
+// `cmd/benchdiff`. It records, per experiment driver and per
+// (design, engine, config) combination, the deterministic facts of a run:
+// abstract operation counts (the quantities internal/perf prices), the
+// modeled seconds derived from them, solution quality, and the service's
+// cache and device accounting. Wall-clock time is deliberately absent —
+// wall observations go to stderr, so two runs of the same binary on the
+// same inputs produce byte-identical BENCH files and CI can diff them.
+// docs/BENCHMARKING.md documents every field and the methodology.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SchemaVersion is stamped into every written file. Readers reject files
+// with a newer major schema than they understand.
+const SchemaVersion = 1
+
+// Ops maps an operation-class name (e.g. "fop.shift.subcellVisits") to its
+// deterministic count. encoding/json sorts map keys, so the serialized
+// form is canonical.
+type Ops map[string]int64
+
+// Total sums all counted operations.
+func (o Ops) Total() int64 {
+	var t int64
+	for _, v := range o {
+		t += v
+	}
+	return t
+}
+
+// Add accumulates other into o, key by key.
+func (o Ops) Add(other Ops) {
+	for k, v := range other {
+		o[k] += v
+	}
+}
+
+// Env identifies the toolchain that produced a file. Only fields that are
+// stable across re-runs on the same machine belong here — no hostnames,
+// no timestamps.
+type Env struct {
+	Go     string `json:"go"`     // runtime.Version()
+	GOOS   string `json:"goos"`   // runtime.GOOS
+	GOARCH string `json:"goarch"` // runtime.GOARCH
+}
+
+// Config records the flexbench flags that shape the measured numbers.
+// Scheduling-only knobs (workers, fpgas, sched policy) are included for
+// provenance even though they never change op counts.
+type Config struct {
+	Scale     float64 `json:"scale"`
+	Designs   string  `json:"designs,omitempty"` // comma-separated filter, empty = full suite
+	Threads   int     `json:"threads"`
+	Workers   int     `json:"workers"`
+	FPGAs     int     `json:"fpgas"`
+	CacheMB   int     `json:"cacheMB"`
+	Shards    int     `json:"shards"`
+	ShardHalo int     `json:"shardHalo"`
+	SchedJobs int     `json:"schedJobs"`
+	Sched     string  `json:"sched"`
+}
+
+// Breakdown is the FLEX engine's modeled-seconds decomposition (the terms
+// of core.Result); other engines leave it nil.
+type Breakdown struct {
+	FPGASeconds      float64 `json:"fpga"`
+	CPUSerialSeconds float64 `json:"cpuSerial"`
+	CPUSteadySeconds float64 `json:"cpuSteady"`
+	TransferSeconds  float64 `json:"transfer"`
+}
+
+// Record is one measured (design, engine, config) outcome.
+type Record struct {
+	// Design is the benchmark name; Engine the registry name of the
+	// legalizer ("flex", "mgl-mt", "gpu", "analytical"); Config the
+	// driver-specific configuration ("threads=8", "bands=4 halo=2",
+	// "class=urgent priority=8 jobs=4"). (Design, Engine, Config) keys a
+	// record within its experiment for diffing.
+	Design string `json:"design"`
+	Engine string `json:"engine"`
+	Config string `json:"config,omitempty"`
+	// Cells is the movable-cell count the engine legalized.
+	Cells int `json:"cells"`
+	// Legal reports whether the result checked clean.
+	Legal bool `json:"legal"`
+	// AveDis/MaxDis are the quality metrics of the paper's Eq. 1.
+	AveDis float64 `json:"aveDis"`
+	MaxDis float64 `json:"maxDis,omitempty"`
+	// ModeledSeconds is the engine's deterministic platform-model runtime;
+	// Modeled breaks it down for the FLEX engine.
+	ModeledSeconds float64    `json:"modeledSeconds"`
+	Modeled        *Breakdown `json:"modeled,omitempty"`
+	// Ops are the counted abstract operations priced by internal/perf.
+	Ops Ops `json:"ops,omitempty"`
+}
+
+// Key returns the record's identity within its experiment.
+func (r Record) Key() string {
+	return r.Design + "|" + r.Engine + "|" + r.Config
+}
+
+// CacheStats is the layout cache's hit/miss delta attributable to one
+// experiment driver (deterministic: the drivers resolve each design through
+// the cache exactly once per run).
+type CacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// DeviceStats is the modeled-board accounting for one experiment driver.
+// Acquires is deterministic (one per FLEX-engine job); Reconfigs is
+// deterministic only for serial runs (-workers 1), which is why -bench-out
+// warns on any other worker count. Wait and hold times are wall-clock and
+// therefore excluded by design.
+type DeviceStats struct {
+	Acquires  int64 `json:"acquires"`
+	Reconfigs int64 `json:"reconfigs"`
+}
+
+// Experiment groups one driver's records.
+type Experiment struct {
+	Name    string       `json:"name"` // driver name: "table1", "sharded", "sched"
+	Records []Record     `json:"records"`
+	Cache   *CacheStats  `json:"cache,omitempty"`
+	Device  *DeviceStats `json:"device,omitempty"`
+}
+
+// Add appends a record.
+func (e *Experiment) Add(r Record) { e.Records = append(e.Records, r) }
+
+// File is one complete BENCH_*.json document.
+type File struct {
+	Schema      int           `json:"schema"`
+	Env         Env           `json:"env"`
+	Config      Config        `json:"config"`
+	Experiments []*Experiment `json:"experiments"`
+}
+
+// New starts a file with the schema version and provenance filled in.
+func New(env Env, cfg Config) *File {
+	return &File{Schema: SchemaVersion, Env: env, Config: cfg}
+}
+
+// Experiment appends and returns a named experiment group.
+func (f *File) Experiment(name string) *Experiment {
+	e := &Experiment{Name: name}
+	f.Experiments = append(f.Experiments, e)
+	return e
+}
+
+// Write serializes the file in its canonical form: two-space indented JSON
+// with sorted map keys and a trailing newline. Two runs over identical
+// deterministic inputs produce byte-identical output.
+func (f *File) Write(w io.Writer) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteFile writes the canonical form to path.
+func (f *File) WriteFile(path string) error {
+	var buf []byte
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(b, '\n')
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// Read parses a BENCH file and validates its schema version.
+func Read(r io.Reader) (*File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	if f.Schema < 1 || f.Schema > SchemaVersion {
+		return nil, fmt.Errorf("benchjson: unsupported schema %d (this build reads 1..%d)", f.Schema, SchemaVersion)
+	}
+	return &f, nil
+}
+
+// ReadFile parses the BENCH file at path.
+func ReadFile(path string) (*File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	f, err := Read(fh)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,86 @@
+package benchjson
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *File {
+	f := New(Env{Go: "go1.24.0", GOOS: "linux", GOARCH: "amd64"},
+		Config{Scale: 0.01, Threads: 8, Workers: 1, FPGAs: 1, CacheMB: 64,
+			Shards: 4, ShardHalo: 2, SchedJobs: 4, Sched: "priority"})
+	e := f.Experiment("table1")
+	e.Add(Record{
+		Design: "des_perf_1", Engine: "flex", Cells: 1128, Legal: true,
+		AveDis: 1.234, ModeledSeconds: 0.0123,
+		Modeled: &Breakdown{FPGASeconds: 0.01, CPUSerialSeconds: 0.001, CPUSteadySeconds: 0.001, TransferSeconds: 0.0003},
+		Ops:     Ops{"fop.shift.subcellVisits": 100, "fop.curve.rawBps": 50},
+	})
+	e.Cache = &CacheStats{Hits: 3, Misses: 1}
+	e.Device = &DeviceStats{Acquires: 1, Reconfigs: 1}
+	return f
+}
+
+// The canonical serialization must be byte-stable across repeated writes —
+// the property the whole trajectory rests on.
+func TestWriteDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := sample().Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sample().Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two writes differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+	if !bytes.HasSuffix(a.Bytes(), []byte("}\n")) {
+		t.Fatalf("canonical form must end with a newline, got %q", a.Bytes()[a.Len()-2:])
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion {
+		t.Fatalf("schema = %d, want %d", got.Schema, SchemaVersion)
+	}
+	if len(got.Experiments) != 1 || got.Experiments[0].Name != "table1" {
+		t.Fatalf("experiments = %+v", got.Experiments)
+	}
+	rec := got.Experiments[0].Records[0]
+	if rec.Key() != "des_perf_1|flex|" {
+		t.Fatalf("key = %q", rec.Key())
+	}
+	if rec.Ops["fop.shift.subcellVisits"] != 100 {
+		t.Fatalf("ops round-trip lost counts: %+v", rec.Ops)
+	}
+	if got.Experiments[0].Device.Reconfigs != 1 {
+		t.Fatalf("device stats lost: %+v", got.Experiments[0].Device)
+	}
+}
+
+func TestReadRejectsFutureSchema(t *testing.T) {
+	in := strings.NewReader(`{"schema": 99}`)
+	if _, err := Read(in); err == nil {
+		t.Fatal("want error for schema 99")
+	}
+}
+
+func TestOpsHelpers(t *testing.T) {
+	o := Ops{"a": 1, "b": 2}
+	o.Add(Ops{"b": 3, "c": 4})
+	if o["b"] != 5 || o["c"] != 4 {
+		t.Fatalf("Add: %+v", o)
+	}
+	if o.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", o.Total())
+	}
+}

@@ -1,0 +1,63 @@
+package curve
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchHinges builds a deterministic hinge population shaped like the FOP
+// emission: one V hinge for the target plus 1–2 push hinges per chained
+// cell, positions clustered around the feasible interval.
+func benchHinges(n int) ([]Breakpoint, int, int) {
+	rng := rand.New(rand.NewSource(42))
+	bps := make([]Breakpoint, 0, n)
+	bps = append(bps, VHinge(500, 12))
+	for len(bps) < n {
+		cur := 400 + rng.Intn(200)
+		g := cur + rng.Intn(41) - 20
+		thresh := cur + rng.Intn(21) - 10
+		if rng.Intn(2) == 0 {
+			bps = append(bps, HingesForPush(cur, g, thresh)...)
+		} else {
+			bps = append(bps, HingesForPushLeft(cur, g, thresh)...)
+		}
+	}
+	return bps[:n], 420, 580
+}
+
+func benchEval(b *testing.B, n int, eval func([]Breakpoint, int, int, *Stats) Result) {
+	bps, lo, hi := benchHinges(n)
+	var st Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eval(bps, lo, hi, &st)
+		if !res.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+func BenchmarkEvalStreamed64(b *testing.B)  { benchEval(b, 64, EvalStreamed) }
+func BenchmarkEvalStreamed256(b *testing.B) { benchEval(b, 256, EvalStreamed) }
+func BenchmarkEvalOriginal64(b *testing.B)  { benchEval(b, 64, EvalOriginal) }
+func BenchmarkEvalOriginal256(b *testing.B) { benchEval(b, 256, EvalOriginal) }
+
+// The reused-Evaluator variants are what the FOP hot loop actually runs;
+// after warm-up they are allocation-free.
+func benchEvaluator(b *testing.B, n int) {
+	bps, lo, hi := benchHinges(n)
+	var e Evaluator
+	var st Stats
+	e.Streamed(bps, lo, hi, &st)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := e.Streamed(bps, lo, hi, &st); !res.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+func BenchmarkEvaluatorStreamed64(b *testing.B)  { benchEvaluator(b, 64) }
+func BenchmarkEvaluatorStreamed256(b *testing.B) { benchEvaluator(b, 256) }

@@ -22,7 +22,10 @@
 // summation pipeline is agnostic to the decomposition.
 package curve
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // Breakpoint is one hinge of a piecewise-linear displacement curve.
 type Breakpoint struct {
@@ -84,15 +87,31 @@ type merged struct {
 	sl, sr int
 }
 
-// sortAndMerge sorts the hinges by position and merges equal positions,
-// returning the merged list plus sort/merge work counts. Both pipelines
-// share it; EvalOriginal charges the passes separately on top.
-func sortAndMerge(bps []Breakpoint, st *Stats) []merged {
-	st.RawBps += len(bps)
-	xs := make([]Breakpoint, len(bps))
-	copy(xs, bps)
-	sort.Slice(xs, func(i, j int) bool { return xs[i].X < xs[j].X })
-	if n := len(bps); n > 1 {
+// Evaluator runs the two evaluation pipelines while reusing its scratch
+// buffers across calls. The FOP inner loop evaluates one curve per
+// insertion point; a per-call Evaluator keeps that loop allocation-free.
+// The zero value is ready to use. Not safe for concurrent use.
+type Evaluator struct {
+	xs   []Breakpoint // with-bounds sort scratch
+	ms   []merged
+	vR   []int // streamed forward partials
+	sR   []int // original pipeline: cumulative right slopes
+	sL   []int // original pipeline: cumulative left slopes
+	vals []int // original pipeline: materialized values
+}
+
+// sortAndMerge sorts the hinges by position (with zero-slope sentinels at
+// lo and hi so the constrained minimum is attained at a breakpoint) and
+// merges equal positions into e.ms. Both pipelines share it; Original
+// charges the passes separately on top. The sort is unstable, which is
+// output-identical here: equal-position hinges merge by commutative slope
+// addition, so their relative order never reaches the traversals.
+func (e *Evaluator) sortAndMerge(bps []Breakpoint, lo, hi int, st *Stats) []merged {
+	e.xs = append(e.xs[:0], bps...)
+	e.xs = append(e.xs, Breakpoint{X: lo}, Breakpoint{X: hi})
+	st.RawBps += len(e.xs)
+	slices.SortFunc(e.xs, func(a, b Breakpoint) int { return cmp.Compare(a.X, b.X) })
+	if n := len(e.xs); n > 1 {
 		// n log n comparison units, the cost charged to "sort bp".
 		logn := 0
 		for v := n; v > 1; v >>= 1 {
@@ -100,8 +119,8 @@ func sortAndMerge(bps []Breakpoint, st *Stats) []merged {
 		}
 		st.SortOps += n * logn
 	}
-	out := make([]merged, 0, len(xs))
-	for _, b := range xs {
+	out := e.ms[:0]
+	for _, b := range e.xs {
 		if len(out) > 0 && out[len(out)-1].x == b.X {
 			out[len(out)-1].sl += b.SL
 			out[len(out)-1].sr += b.SR
@@ -109,25 +128,24 @@ func sortAndMerge(bps []Breakpoint, st *Stats) []merged {
 			out = append(out, merged{x: b.X, sl: b.SL, sr: b.SR})
 		}
 	}
+	e.ms = out
 	st.MergedBps += len(out)
 	return out
 }
 
-// withBounds injects zero-slope sentinel breakpoints at lo and hi so the
-// constrained minimum over [lo, hi] is attained at one of the merged
-// breakpoints inside the interval.
-func withBounds(bps []Breakpoint, lo, hi int) []Breakpoint {
-	out := make([]Breakpoint, 0, len(bps)+2)
-	out = append(out, bps...)
-	out = append(out, Breakpoint{X: lo}, Breakpoint{X: hi})
-	return out
+// grow resizes dst to n reusing capacity.
+func grow(dst []int, n int) []int {
+	if cap(dst) < n {
+		return make([]int, n)
+	}
+	return dst[:n]
 }
 
-// EvalOriginal runs the paper's original five-operator FOP tail: sort bp →
+// Original runs the paper's original five-operator FOP tail: sort bp →
 // merge bp → sum slopesR → sum slopesL → calculate value, with each operator
 // as a discrete pass over materialized intermediates. The minimum is taken
 // over x in [lo, hi].
-func EvalOriginal(bps []Breakpoint, lo, hi int, st *Stats) Result {
+func (e *Evaluator) Original(bps []Breakpoint, lo, hi int, st *Stats) Result {
 	if lo > hi {
 		return Result{Feasible: false}
 	}
@@ -135,11 +153,12 @@ func EvalOriginal(bps []Breakpoint, lo, hi int, st *Stats) Result {
 		st = &Stats{}
 	}
 	base := SumBase(bps)
-	ms := sortAndMerge(withBounds(bps, lo, hi), st)
+	ms := e.sortAndMerge(bps, lo, hi, st)
 	n := len(ms)
 
 	// sum slopesR: forward traversal, cumulative right slopes.
-	slopesR := make([]int, n)
+	e.sR = grow(e.sR, n)
+	slopesR := e.sR
 	acc := 0
 	for i := 0; i < n; i++ {
 		acc += ms[i].sr
@@ -147,7 +166,8 @@ func EvalOriginal(bps []Breakpoint, lo, hi int, st *Stats) Result {
 		st.Traversal++
 	}
 	// sum slopesL: backward traversal, cumulative left slopes.
-	slopesL := make([]int, n)
+	e.sL = grow(e.sL, n)
+	slopesL := e.sL
 	acc = 0
 	for i := n - 1; i >= 0; i-- {
 		acc += ms[i].sl
@@ -156,7 +176,8 @@ func EvalOriginal(bps []Breakpoint, lo, hi int, st *Stats) Result {
 	}
 	// calculate value: value at the first breakpoint, then walk segments
 	// using the slope between adjacent merged breakpoints.
-	vals := make([]int, n)
+	e.vals = grow(e.vals, n)
+	vals := e.vals
 	v0 := 0
 	for i := 1; i < n; i++ {
 		// Hinges right of ms[0] contribute SL·(x0−xi) each; accumulate
@@ -184,11 +205,11 @@ func EvalOriginal(bps []Breakpoint, lo, hi int, st *Stats) Result {
 	return res
 }
 
-// EvalStreamed runs the restructured dataflow of Fig. 5: a single forward
+// Streamed runs the restructured dataflow of Fig. 5: a single forward
 // pass (fwdmerge, sum slopesR, calculate vR) followed by a single backward
 // pass (bwdmerge, sum slopesL, calculate vL and v). No intermediate arrays
 // beyond the merged breakpoints and the forward partials are materialized.
-func EvalStreamed(bps []Breakpoint, lo, hi int, st *Stats) Result {
+func (e *Evaluator) Streamed(bps []Breakpoint, lo, hi int, st *Stats) Result {
 	if lo > hi {
 		return Result{Feasible: false}
 	}
@@ -196,11 +217,12 @@ func EvalStreamed(bps []Breakpoint, lo, hi int, st *Stats) Result {
 		st = &Stats{}
 	}
 	base := SumBase(bps)
-	ms := sortAndMerge(withBounds(bps, lo, hi), st)
+	ms := e.sortAndMerge(bps, lo, hi, st)
 	n := len(ms)
 
 	// fwdtraverse: vR_i = Σ_{j≤i} SR_j·(x_i − x_j), computed incrementally.
-	vR := make([]int, n)
+	e.vR = grow(e.vR, n)
+	vR := e.vR
 	cumR := 0
 	for i := 0; i < n; i++ {
 		if i > 0 {
@@ -232,6 +254,19 @@ func EvalStreamed(bps []Breakpoint, lo, hi int, st *Stats) Result {
 	return res
 }
 
+// EvalOriginal is Original on a throwaway Evaluator, for callers outside
+// the FOP hot loop.
+func EvalOriginal(bps []Breakpoint, lo, hi int, st *Stats) Result {
+	var e Evaluator
+	return e.Original(bps, lo, hi, st)
+}
+
+// EvalStreamed is Streamed on a throwaway Evaluator.
+func EvalStreamed(bps []Breakpoint, lo, hi int, st *Stats) Result {
+	var e Evaluator
+	return e.Streamed(bps, lo, hi, st)
+}
+
 // HingesForPush returns the 1–2 hinge decomposition for a cell that a
 // rightward-moving target pushes right. cur is the cell's current position,
 // g its global-placement position, and thresh the target position at which
@@ -240,27 +275,38 @@ func EvalStreamed(bps []Breakpoint, lo, hi int, st *Stats) Result {
 // The mirrored left-push case is obtained by negating coordinates; see
 // HingesForPushLeft.
 func HingesForPush(cur, g, thresh int) []Breakpoint {
+	return AppendHingesForPush(nil, cur, g, thresh)
+}
+
+// AppendHingesForPush appends the push-right decomposition to dst and
+// returns the extended slice, for hot loops that reuse a hinge buffer.
+func AppendHingesForPush(dst []Breakpoint, cur, g, thresh int) []Breakpoint {
 	if cur >= g {
 		// Monotone hinge: flat at cur−g, then slope +1.
-		return []Breakpoint{{X: thresh, SL: 0, SR: 1, Base: cur - g}}
+		return append(dst, Breakpoint{X: thresh, SL: 0, SR: 1, Base: cur - g})
 	}
 	// Flat at g−cur, then slope −1 down to 0 at x = thresh+(g−cur), then +1.
-	return []Breakpoint{
-		{X: thresh, SL: 0, SR: -1, Base: g - cur},
-		{X: thresh + (g - cur), SL: 0, SR: 2, Base: 0},
-	}
+	return append(dst,
+		Breakpoint{X: thresh, SL: 0, SR: -1, Base: g - cur},
+		Breakpoint{X: thresh + (g - cur), SL: 0, SR: 2, Base: 0},
+	)
 }
 
 // HingesForPushLeft returns the hinge decomposition for a cell pushed left:
 // newpos(x) = min(cur, x − (thresh − cur)) engages for x < thresh.
 func HingesForPushLeft(cur, g, thresh int) []Breakpoint {
+	return AppendHingesForPushLeft(nil, cur, g, thresh)
+}
+
+// AppendHingesForPushLeft appends the push-left decomposition to dst.
+func AppendHingesForPushLeft(dst []Breakpoint, cur, g, thresh int) []Breakpoint {
 	if cur <= g {
-		return []Breakpoint{{X: thresh, SL: -1, SR: 0, Base: g - cur}}
+		return append(dst, Breakpoint{X: thresh, SL: -1, SR: 0, Base: g - cur})
 	}
-	return []Breakpoint{
-		{X: thresh, SL: 1, SR: 0, Base: cur - g},
-		{X: thresh - (cur - g), SL: -2, SR: 0, Base: 0},
-	}
+	return append(dst,
+		Breakpoint{X: thresh, SL: 1, SR: 0, Base: cur - g},
+		Breakpoint{X: thresh - (cur - g), SL: -2, SR: 0, Base: 0},
+	)
 }
 
 // VHinge returns the target cell's own displacement curve: a V centred on

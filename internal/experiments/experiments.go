@@ -13,6 +13,7 @@ import (
 
 	"github.com/flex-eda/flex/internal/analytical"
 	"github.com/flex-eda/flex/internal/batch"
+	"github.com/flex-eda/flex/internal/benchjson"
 	"github.com/flex-eda/flex/internal/cache"
 	"github.com/flex-eda/flex/internal/core"
 	"github.com/flex-eda/flex/internal/fpga"
@@ -69,6 +70,15 @@ type Options struct {
 	// once per process instead of once per driver. Safe because engines
 	// legalize clones; hit/miss accounting accumulates in the cache.
 	Layouts *cache.LRU
+	// Bench, when non-nil, receives one benchjson.Record per measured
+	// (design, engine, config) outcome — the persistent perf-trajectory
+	// sink behind flexbench -bench-out. Records are appended after the
+	// driver's batch completes, in deterministic suite × engine order, and
+	// contain only deterministic facts (op counts, modeled seconds,
+	// quality), so the serialized file is byte-stable across runs. Only
+	// the Table1, Sharded and Sched drivers record; see
+	// docs/BENCHMARKING.md for the schema.
+	Bench *benchjson.Experiment
 }
 
 func (o Options) withDefaults() Options {
@@ -103,11 +113,17 @@ func (o Options) suite() []gen.Spec {
 	return out
 }
 
-// EngineCell is one engine's outcome on one design.
+// EngineCell is one engine's outcome on one design. AveDis, Seconds and
+// Legal are the rendered columns; MaxDis, Ops and Modeled are the extra
+// deterministic facts the benchjson trajectory persists (they never reach
+// the rendered table, so adding them cannot move stdout).
 type EngineCell struct {
 	AveDis  float64
 	Seconds float64
 	Legal   bool
+	MaxDis  float64
+	Ops     benchjson.Ops
+	Modeled *benchjson.Breakdown // FLEX engine only
 }
 
 // Table1Row mirrors one row of the paper's Table 1.
@@ -149,20 +165,24 @@ func Table1(opt Options) ([]Table1Row, error) {
 					res := mgl.Legalize(l, mgl.Config{Threads: opt.Threads})
 					secs := perf.DefaultCPU.ParallelSeconds(res.Stats.WorkSerial,
 						res.Stats.WorkCritical, int(res.Stats.Batches), opt.Threads)
-					return EngineCell{AveDis: res.Metrics.AveDis, Seconds: secs, Legal: res.Legal}, nil
+					return EngineCell{AveDis: res.Metrics.AveDis, Seconds: secs, Legal: res.Legal,
+						MaxDis: res.Metrics.MaxDis, Ops: mglOps(res.Stats)}, nil
 				case 1:
 					res := gpu.Legalize(l, gpu.Config{})
-					return EngineCell{AveDis: res.Metrics.AveDis, Seconds: res.TotalSeconds, Legal: res.Legal}, nil
+					return EngineCell{AveDis: res.Metrics.AveDis, Seconds: res.TotalSeconds, Legal: res.Legal,
+						MaxDis: res.Metrics.MaxDis, Ops: gpuOps(res)}, nil
 				case 2:
 					res := analytical.Legalize(l, analytical.Config{})
-					return EngineCell{AveDis: res.Metrics.AveDis, Seconds: res.TotalSeconds, Legal: res.Legal}, nil
+					return EngineCell{AveDis: res.Metrics.AveDis, Seconds: res.TotalSeconds, Legal: res.Legal,
+						MaxDis: res.Metrics.MaxDis, Ops: analyticalOps(res)}, nil
 				default:
 					// FLEX streams the design through the shared board:
 					// hold a device token for the engine run while the
 					// CPU-side siblings above keep overlapping.
 					return runOnDevice(ctx, func() (EngineCell, error) {
 						res := core.Legalize(l, core.Config{MeasureOriginalShift: opt.MeasureOriginal})
-						return EngineCell{AveDis: res.Metrics.AveDis, Seconds: res.TotalSeconds, Legal: res.Legal}, nil
+						return EngineCell{AveDis: res.Metrics.AveDis, Seconds: res.TotalSeconds, Legal: res.Legal,
+							MaxDis: res.Metrics.MaxDis, Ops: flexOps(res), Modeled: flexBreakdown(res)}, nil
 					})
 				}
 			})
@@ -189,6 +209,28 @@ func Table1(opt Options) ([]Table1Row, error) {
 			row.AccI = row.Ispd.Seconds / row.Flex.Seconds
 		}
 		rows[i] = row
+	}
+	if opt.Bench != nil {
+		for _, row := range rows {
+			for _, ec := range []struct {
+				cell   EngineCell
+				engine string
+				config string
+			}{
+				{row.MGL, "mgl-mt", fmt.Sprintf("threads=%d", opt.Threads)},
+				{row.Date, "gpu", ""},
+				{row.Ispd, "analytical", ""},
+				{row.Flex, "flex", ""},
+			} {
+				opt.Bench.Add(benchjson.Record{
+					Design: row.Name, Engine: ec.engine, Config: ec.config,
+					Cells: row.Cells, Legal: ec.cell.Legal,
+					AveDis: ec.cell.AveDis, MaxDis: ec.cell.MaxDis,
+					ModeledSeconds: ec.cell.Seconds,
+					Modeled:        ec.cell.Modeled, Ops: ec.cell.Ops,
+				})
+			}
+		}
 	}
 	return rows, nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/flex-eda/flex/internal/batch"
+	"github.com/flex-eda/flex/internal/benchjson"
 	"github.com/flex-eda/flex/internal/core"
 	"github.com/flex-eda/flex/internal/report"
 	"github.com/flex-eda/flex/internal/sched"
@@ -38,6 +39,13 @@ type SchedPoint struct {
 	// DeviceWait sums the class's board queue time — the second queue the
 	// scheduler orders.
 	DeviceWait time.Duration
+	// Cells is the movable-cell count of the design every job legalizes;
+	// ModeledSeconds and Ops sum the class's deterministic engine work
+	// (jobs are identical, so both are perClass multiples of one run) —
+	// the benchjson trajectory record for the class.
+	Cells          int
+	ModeledSeconds float64
+	Ops            benchjson.Ops
 }
 
 // schedClasses is the fixed class ladder of the experiment, lowest first —
@@ -71,15 +79,23 @@ func Sched(opt Options, perClass int) ([]SchedPoint, error) {
 		return nil, err
 	}
 
+	// schedRun is one job's deterministic outcome: legality for the
+	// rendered table, ops and modeled seconds for the benchjson record.
+	type schedRun struct {
+		legal   bool
+		seconds float64
+		ops     benchjson.Ops
+	}
 	n := perClass * len(schedClasses)
-	jobs := make([]batch.Job[bool], 0, n)
+	jobs := make([]batch.Job[schedRun], 0, n)
 	classes := make([]sched.Class, 0, n)
 	owner := make([]int, 0, n) // job index -> class index
 	for ci, c := range schedClasses {
 		for i := 0; i < perClass; i++ {
-			jobs = append(jobs, func(ctx context.Context) (bool, error) {
-				return runOnDevice(ctx, func() (bool, error) {
-					return core.Legalize(l, core.Config{}).Legal, nil
+			jobs = append(jobs, func(ctx context.Context) (schedRun, error) {
+				return runOnDevice(ctx, func() (schedRun, error) {
+					res := core.Legalize(l, core.Config{})
+					return schedRun{legal: res.Legal, seconds: res.TotalSeconds, ops: flexOps(res)}, nil
 				})
 			})
 			classes = append(classes, sched.Class{
@@ -107,14 +123,17 @@ func Sched(opt Options, perClass int) ([]SchedPoint, error) {
 	pts := make([]SchedPoint, len(schedClasses))
 	waits := make([][]time.Duration, len(schedClasses))
 	for ci, c := range schedClasses {
-		pts[ci] = SchedPoint{Label: c.label, Priority: c.priority, Client: c.label}
+		pts[ci] = SchedPoint{Label: c.label, Priority: c.priority, Client: c.label,
+			Cells: len(l.MovableIDs()), Ops: benchjson.Ops{}}
 	}
 	for i, r := range results {
 		ci := owner[i]
 		pts[ci].Jobs++
-		if r.Value {
+		if r.Value.legal {
 			pts[ci].Legal++
 		}
+		pts[ci].ModeledSeconds += r.Value.seconds
+		pts[ci].Ops.Add(r.Value.ops)
 		pts[ci].DeviceWait += r.DeviceWait
 		waits[ci] = append(waits[ci], r.SchedWait)
 	}
@@ -122,6 +141,16 @@ func Sched(opt Options, perClass int) ([]SchedPoint, error) {
 		pts[ci].P50Wait = percentile(waits[ci], 50)
 		pts[ci].P99Wait = percentile(waits[ci], 99)
 		pts[ci].MaxWait = percentile(waits[ci], 100)
+	}
+	if opt.Bench != nil {
+		for _, p := range pts {
+			opt.Bench.Add(benchjson.Record{
+				Design: spec.Name, Engine: "flex",
+				Config: fmt.Sprintf("class=%s priority=%d jobs=%d", p.Label, p.Priority, p.Jobs),
+				Cells:  p.Cells, Legal: p.Legal == p.Jobs,
+				ModeledSeconds: p.ModeledSeconds, Ops: p.Ops,
+			})
+		}
 	}
 	return pts, nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/flex-eda/flex/internal/batch"
+	"github.com/flex-eda/flex/internal/benchjson"
 	"github.com/flex-eda/flex/internal/core"
 	"github.com/flex-eda/flex/internal/model"
 	"github.com/flex-eda/flex/internal/report"
@@ -43,6 +44,9 @@ type ShardedPoint struct {
 	BandCells []int
 	BandWall  []time.Duration
 	BandWait  []time.Duration
+	// Ops sums the FLEX engine's deterministic op counts across the bands
+	// — the benchjson trajectory record for the sharded configuration.
+	Ops benchjson.Ops
 }
 
 // Sharded runs the row-band sharding path over the (filtered, scaled)
@@ -88,6 +92,7 @@ func Sharded(opt Options, shards, halo int) ([]ShardedPoint, error) {
 			layout  *model.Layout
 			seconds float64
 			legal   bool
+			ops     benchjson.Ops
 		}
 		jobs := make([]batch.Job[bandRun], len(bands))
 		for b := range bands {
@@ -97,7 +102,7 @@ func Sharded(opt Options, shards, halo int) ([]ShardedPoint, error) {
 				// other FLEX-engine job.
 				return runOnDevice(ctx, func() (bandRun, error) {
 					r := core.Legalize(band, core.Config{MeasureOriginalShift: opt.MeasureOriginal})
-					return bandRun{layout: r.Layout, seconds: r.TotalSeconds, legal: r.Legal}, nil
+					return bandRun{layout: r.Layout, seconds: r.TotalSeconds, legal: r.Legal, ops: flexOps(r)}, nil
 				})
 			}
 		}
@@ -115,6 +120,7 @@ func Sharded(opt Options, shards, halo int) ([]ShardedPoint, error) {
 			Bands: len(bands),
 			Halo:  halo,
 			Legal: true,
+			Ops:   benchjson.Ops{},
 		}
 		legalized := make([]*model.Layout, len(bands))
 		for b, r := range results {
@@ -133,6 +139,7 @@ func Sharded(opt Options, shards, halo int) ([]ShardedPoint, error) {
 			pt.BandCells = append(pt.BandCells, plan.Bands[b].Movable)
 			pt.BandWall = append(pt.BandWall, r.Wall)
 			pt.BandWait = append(pt.BandWait, r.DeviceWait)
+			pt.Ops.Add(run.ops)
 		}
 		stitched, err := shard.Stitch(l, plan, legalized)
 		if err != nil {
@@ -143,6 +150,18 @@ func Sharded(opt Options, shards, halo int) ([]ShardedPoint, error) {
 		}
 		m := model.Measure(stitched)
 		pt.AveDis, pt.MaxDis = m.AveDis, m.MaxDis
+		if opt.Bench != nil {
+			// ModeledSum is the record's time: the serial cost of all
+			// bands, the quantity the op counts price. ModeledMax (the
+			// parallel wall) is recoverable from per-run stderr.
+			opt.Bench.Add(benchjson.Record{
+				Design: pt.Name, Engine: "flex",
+				Config: fmt.Sprintf("bands=%d halo=%d", pt.Bands, pt.Halo),
+				Cells:  pt.Cells, Legal: pt.Legal,
+				AveDis: pt.AveDis, MaxDis: pt.MaxDis,
+				ModeledSeconds: pt.ModeledSum, Ops: pt.Ops,
+			})
+		}
 		out = append(out, pt)
 	}
 	return out, nil

@@ -1,0 +1,70 @@
+package fop
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/flex-eda/flex/internal/geom"
+	"github.com/flex-eda/flex/internal/region"
+)
+
+// benchRegion builds a deterministic localRegion shaped like the legalizer
+// hot path: rows of packed mixed-height cells with scattered gaps, the
+// working set one fop.Best call sweeps per insertion point.
+func benchRegion(rows, width int) (*region.Region, Target) {
+	rng := rand.New(rand.NewSource(7))
+	var cells []region.LocalCell
+	occupied := make([]int, rows) // next free x per row
+	for row := 0; row < rows; row++ {
+		x := rng.Intn(4)
+		for x < width-12 {
+			w := 3 + rng.Intn(8)
+			h := 1
+			if row+1 < rows && rng.Intn(4) == 0 && occupied[row+1] <= x {
+				h = 2
+			}
+			fits := true
+			for r := row; r < row+h; r++ {
+				if occupied[r] > x {
+					fits = false
+				}
+			}
+			if fits && rng.Intn(5) > 0 {
+				gx := x + rng.Intn(9) - 4
+				cells = append(cells, region.LocalCell{
+					ID: len(cells), X: x, Y: row, GX: gx, W: w, H: h,
+				})
+				for r := row; r < row+h; r++ {
+					occupied[r] = x + w
+				}
+			}
+			x += w + rng.Intn(3)
+		}
+	}
+	win := geom.NewRect(0, 0, width, rows)
+	reg := buildRegion(win, [2]int{0, width}, cells)
+	t := Target{GX: width / 2, GY: rows / 2, W: 6, H: 2, ParityOK: anyRow, RowHeight: 1}
+	return reg, t
+}
+
+func benchBest(b *testing.B, rows, width int, opt Options) {
+	reg, tg := benchRegion(rows, width)
+	var st Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := Best(reg, tg, opt, &st)
+		if !c.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+// BenchmarkBest is the dominant-engine kernel benchmark: the FOP
+// triple loop the FLEX paper accelerates, in the streamed configuration
+// the core engine runs. The speed pass is measured against it.
+func BenchmarkBest(b *testing.B)      { benchBest(b, 8, 200, Options{Streamed: true}) }
+func BenchmarkBestLarge(b *testing.B) { benchBest(b, 12, 400, Options{Streamed: true}) }
+func BenchmarkBestOriginalPipeline(b *testing.B) {
+	benchBest(b, 8, 200, Options{Streamed: false})
+}

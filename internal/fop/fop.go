@@ -107,6 +107,30 @@ func addShift(dst, src *shift.Stats) {
 	dst.SortOps += src.SortOps
 }
 
+// chainEntry records one cell swept into a shift chain and its offset.
+type chainEntry struct {
+	ci int
+	o  int
+}
+
+// scratch holds the per-Best-call working memory so the triple loop runs
+// allocation-free: every evalPoint reuses the same chain lists, row-offset
+// array, hinge buffer, and curve evaluator. One scratch is private to one
+// Best invocation, so concurrent Best calls (the batched engine's frozen
+// evaluations) never share state.
+type scratch struct {
+	order   []int
+	rowOff  []int
+	left    []chainEntry
+	right   []chainEntry
+	inLeft  []bool // cell index -> claimed by the left chain
+	bps     []curve.Breakpoint
+	eval    curve.Evaluator
+	centers []int
+	bounds  []int
+	saved   []int
+}
+
 // Best evaluates every insertion point in the region and returns the best
 // candidate. The region's cell positions are left untouched.
 func Best(reg *region.Region, t Target, opt Options, st *Stats) Candidate {
@@ -115,10 +139,11 @@ func Best(reg *region.Region, t Target, opt Options, st *Stats) Candidate {
 	}
 	best := Candidate{Feasible: false}
 	win := reg.Window
+	var sc scratch
 
 	// Ahead sort: one x-sort of the region's cells shared by every
 	// insertion point, mirroring the hardware's single per-region sorter.
-	order := xOrder(reg)
+	order := sc.xOrder(reg)
 	st.Shift.SortedCells += len(order)
 	if n := len(order); n > 1 {
 		logn := 0
@@ -127,6 +152,8 @@ func Best(reg *region.Region, t Target, opt Options, st *Stats) Candidate {
 		}
 		st.Shift.SortOps += n * logn
 	}
+	sc.rowOff = make([]int, len(reg.Segments))
+	sc.inLeft = make([]bool, len(reg.Cells))
 
 	for y := win.Y; y+t.H <= win.Y+win.H; y++ {
 		if t.ParityOK != nil && !t.ParityOK(y) {
@@ -150,9 +177,9 @@ func Best(reg *region.Region, t Target, opt Options, st *Stats) Candidate {
 		st.CandidateRows++
 		vbase := t.RowHeight * geom.Abs(y-t.GY)
 
-		for _, b2 := range slotBoundaries(reg, y, t.H) {
+		for _, b2 := range sc.slotBoundaries(reg, y, t.H) {
 			st.InsertionPoints++
-			c := evalPoint(reg, order, t, y, b2, lo0, hi0, vbase, opt, st)
+			c := sc.evalPoint(reg, order, t, y, b2, lo0, hi0, vbase, opt, st)
 			if c.Better(best) {
 				best = c
 			}
@@ -164,51 +191,50 @@ func Best(reg *region.Region, t Target, opt Options, st *Stats) Candidate {
 // slotBoundaries returns the doubled-x boundary values that induce every
 // distinct left/right partition of the cells in rows [y, y+h): one below
 // the smallest doubled center, then one at each distinct doubled center.
-func slotBoundaries(reg *region.Region, y, h int) []int {
-	ids := reg.CellsInRows(y, h)
-	if len(ids) == 0 {
-		return []int{0} // single empty partition; boundary value irrelevant
+// The returned slice is scratch memory, valid until the next call.
+func (sc *scratch) slotBoundaries(reg *region.Region, y, h int) []int {
+	// A cell spanning several rows contributes the same doubled center to
+	// each, so gathering per-row (with duplicates) and deduplicating after
+	// the sort yields exactly the distinct-cell center set.
+	centers := sc.centers[:0]
+	for row := y; row < y+h; row++ {
+		seg := reg.SegmentAt(row)
+		if seg == nil {
+			continue
+		}
+		for _, ci := range seg.Cells {
+			c := &reg.Cells[ci]
+			centers = append(centers, 2*c.X+c.W)
+		}
 	}
-	centers := make([]int, 0, len(ids))
-	for _, ci := range ids {
-		c := &reg.Cells[ci]
-		centers = append(centers, 2*c.X+c.W)
+	sc.centers = centers
+	if len(centers) == 0 {
+		sc.bounds = append(sc.bounds[:0], 0)
+		return sc.bounds // single empty partition; boundary value irrelevant
 	}
 	sortInts(centers)
-	out := make([]int, 0, len(centers)+1)
-	out = append(out, centers[0]-1)
+	out := append(sc.bounds[:0], centers[0]-1)
 	for i, v := range centers {
 		if i > 0 && centers[i-1] == v {
 			continue
 		}
 		out = append(out, v)
 	}
+	sc.bounds = out
 	return out
 }
 
 // evalPoint scores one insertion point: chain offsets (cell shifting in
 // sort-ahead form), hinge emission, and curve evaluation.
-func evalPoint(reg *region.Region, order []int, t Target, y, b2, lo0, hi0, vbase int, opt Options, st *Stats) Candidate {
-	type chainEntry struct {
-		ci int
-		o  int
-	}
-	inTargetRows := func(c *region.LocalCell) bool {
-		return c.Y < y+t.H && c.Y+c.H > y
-	}
-	isRight := func(c *region.LocalCell) bool {
-		return inTargetRows(c) && 2*c.X+c.W > b2
-	}
-	isLeft := func(c *region.LocalCell) bool {
-		return inTargetRows(c) && 2*c.X+c.W <= b2
-	}
-
+func (sc *scratch) evalPoint(reg *region.Region, order []int, t Target, y, b2, lo0, hi0, vbase int, opt Options, st *Stats) Candidate {
 	st.Shift.Passes += 2 // one outward sweep per phase
 
 	nSeg := len(reg.Segments)
-	rowOff := make([]int, nSeg)
+	rowOff := sc.rowOff
 
-	// Left sweep: descending x over left/none cells.
+	// Left sweep: descending x over left/none cells. A cell is in the
+	// target's rows when c.Y < y+t.H && c.Y+c.H > y; among those, the
+	// boundary b2 splits left (2x+w ≤ b2) from right.
 	for i := range rowOff {
 		rowOff[i] = negInf
 	}
@@ -218,13 +244,12 @@ func evalPoint(reg *region.Region, order []int, t Target, y, b2, lo0, hi0, vbase
 		}
 	}
 	lo, hi := lo0, hi0
-	var left []chainEntry
-	inLeftChain := make(map[int]bool)
+	left := sc.left[:0]
 	for k := len(order) - 1; k >= 0; k-- {
 		ci := order[k]
 		c := &reg.Cells[ci]
-		if isRight(c) {
-			continue
+		if c.Y < y+t.H && c.Y+c.H > y && 2*c.X+c.W > b2 {
+			continue // right-partition cell
 		}
 		o := negInf
 		for row := c.Y; row < c.Y+c.H; row++ {
@@ -253,8 +278,9 @@ func evalPoint(reg *region.Region, order []int, t Target, y, b2, lo0, hi0, vbase
 			}
 		}
 		left = append(left, chainEntry{ci, o})
-		inLeftChain[ci] = true
+		sc.inLeft[ci] = true
 	}
+	sc.left = left
 
 	// Right sweep: ascending x over right/none cells.
 	for i := range rowOff {
@@ -265,11 +291,11 @@ func evalPoint(reg *region.Region, order []int, t Target, y, b2, lo0, hi0, vbase
 			rowOff[si] = t.W
 		}
 	}
-	var right []chainEntry
+	right := sc.right[:0]
 	for k := 0; k < len(order); k++ {
 		ci := order[k]
 		c := &reg.Cells[ci]
-		if isLeft(c) || inLeftChain[ci] {
+		if (c.Y < y+t.H && c.Y+c.H > y && 2*c.X+c.W <= b2) || sc.inLeft[ci] {
 			// Cells already claimed by the left chain cannot be squeezed
 			// from both sides; the left chain takes precedence.
 			continue
@@ -301,6 +327,10 @@ func evalPoint(reg *region.Region, order []int, t Target, y, b2, lo0, hi0, vbase
 		}
 		right = append(right, chainEntry{ci, o})
 	}
+	sc.right = right
+	for _, e := range left {
+		sc.inLeft[e.ci] = false
+	}
 
 	if lo > hi {
 		return Candidate{Feasible: false}
@@ -309,30 +339,30 @@ func evalPoint(reg *region.Region, order []int, t Target, y, b2, lo0, hi0, vbase
 	// Optional instrumentation: run the original multi-pass shifting on
 	// scratch positions to observe its pass structure.
 	if opt.MeasureOriginalShift {
-		measureOriginal(reg, t, y, b2, lo, hi, st)
+		sc.measureOriginal(reg, t, y, b2, lo, hi, st)
 	}
 
 	// Hinge emission: target V plus delta hinges for every chained cell.
-	bps := make([]curve.Breakpoint, 0, 1+2*(len(left)+len(right)))
-	bps = append(bps, curve.VHinge(t.GX, vbase))
+	bps := append(sc.bps[:0], curve.VHinge(t.GX, vbase))
 	for _, e := range left {
 		c := &reg.Cells[e.ci]
-		hs := curve.HingesForPushLeft(c.X, c.GX, c.X+e.o)
-		hs[0].Base = 0 // delta relative to the cell's current displacement
-		bps = append(bps, hs...)
+		n := len(bps)
+		bps = curve.AppendHingesForPushLeft(bps, c.X, c.GX, c.X+e.o)
+		bps[n].Base = 0 // delta relative to the cell's current displacement
 	}
 	for _, e := range right {
 		c := &reg.Cells[e.ci]
-		hs := curve.HingesForPush(c.X, c.GX, c.X-e.o)
-		hs[0].Base = 0
-		bps = append(bps, hs...)
+		n := len(bps)
+		bps = curve.AppendHingesForPush(bps, c.X, c.GX, c.X-e.o)
+		bps[n].Base = 0
 	}
+	sc.bps = bps
 
 	var res curve.Result
 	if opt.Streamed {
-		res = curve.EvalStreamed(bps, lo, hi, &st.Curve)
+		res = sc.eval.Streamed(bps, lo, hi, &st.Curve)
 	} else {
-		res = curve.EvalOriginal(bps, lo, hi, &st.Curve)
+		res = sc.eval.Original(bps, lo, hi, &st.Curve)
 	}
 	if !res.Feasible {
 		return Candidate{Feasible: false}
@@ -342,12 +372,13 @@ func evalPoint(reg *region.Region, order []int, t Target, y, b2, lo0, hi0, vbase
 
 // measureOriginal runs shift.Original at the clamped preferred position on
 // scratch positions, accumulating its stats, then restores the region.
-func measureOriginal(reg *region.Region, t Target, y, b2, lo, hi int, st *Stats) {
+func (sc *scratch) measureOriginal(reg *region.Region, t Target, y, b2, lo, hi int, st *Stats) {
 	x0 := geom.Min(geom.Max(t.GX, lo), hi)
-	saved := make([]int, len(reg.Cells))
+	saved := sc.saved[:0]
 	for i := range reg.Cells {
-		saved[i] = reg.Cells[i].X
+		saved = append(saved, reg.Cells[i].X)
 	}
+	sc.saved = saved
 	p := shift.Placement{TX: x0, TY: y, TW: t.W, TH: t.H, Boundary2: b2}
 	shift.Original(reg, p, &st.OriginalShift)
 	for i := range reg.Cells {
@@ -357,10 +388,10 @@ func measureOriginal(reg *region.Region, t Target, y, b2, lo, hi int, st *Stats)
 }
 
 // xOrder returns region cell indices sorted ascending by current x.
-func xOrder(reg *region.Region) []int {
-	order := make([]int, len(reg.Cells))
-	for i := range order {
-		order[i] = i
+func (sc *scratch) xOrder(reg *region.Region) []int {
+	order := sc.order[:0]
+	for i := range reg.Cells {
+		order = append(order, i)
 	}
 	// Insertion sort: region cell counts are small and mostly pre-sorted.
 	for i := 1; i < len(order); i++ {
@@ -368,6 +399,7 @@ func xOrder(reg *region.Region) []int {
 			order[j], order[j-1] = order[j-1], order[j]
 		}
 	}
+	sc.order = order
 	return order
 }
 

@@ -123,12 +123,14 @@ func Legalize(l *model.Layout, cfg Config) *Result {
 }
 
 type engine struct {
-	l      *model.Layout
-	cfg    Config
-	w      perf.Weights
-	idx    *region.Index
-	placed []bool
-	st     Stats
+	l       *model.Layout
+	cfg     Config
+	w       perf.Weights
+	idx     *region.Index
+	soa     *model.SoA // geometry mirror for the extraction hot path
+	placed  []bool
+	st      Stats
+	candBuf []int // serial-path query scratch (placeOne/extract only)
 }
 
 func newEngine(l *model.Layout, cfg Config) *engine {
@@ -146,6 +148,8 @@ func newEngine(l *model.Layout, cfg Config) *engine {
 	e.preMove()
 	e.placed = make([]bool, len(e.l.Cells))
 	e.idx = region.NewIndex(e.l, 32, 4, func(i int) bool { return e.l.Cells[i].Fixed })
+	// Snapshot geometry after pre-move; commit keeps the mirror in sync.
+	e.soa = model.NewSoA(e.l)
 	return e
 }
 
@@ -264,12 +268,16 @@ func (e *engine) placeOne(id int) TargetTrace {
 }
 
 func (e *engine) extract(id int, win geom.Rect) *region.Region {
-	cands := e.idx.Query(win, nil)
+	// Reusing the query scratch is safe here: extract is only reached from
+	// placeOne, which runs serially (sequential engine, or the serial redo
+	// phase of the batched engine). ExtractFrom copies what it keeps.
+	e.candBuf = e.idx.Query(win, e.candBuf[:0])
+	cands := e.candBuf
 	e.st.RegionBuilds++
 	e.st.RegionCands += int64(len(cands))
 	e.st.RegionRows += int64(win.Intersect(e.l.Die()).H)
 	e.st.WorkSerial += e.w.RegionCand*float64(len(cands)) + e.w.RegionRow*float64(win.H)
-	return region.ExtractFrom(e.l, e.placed, id, win, cands)
+	return region.ExtractFromSoA(e.soa, e.placed, id, e.l.Die(), win, cands)
 }
 
 // commit is step e): run the committing shift on the region and write the
@@ -291,12 +299,14 @@ func (e *engine) commit(id int, reg *region.Region, cand fop.Candidate) bool {
 		cell := &e.l.Cells[lc.ID]
 		if cell.X != lc.X {
 			cell.X = lc.X
+			e.soa.Set(lc.ID, cell.X, cell.Y)
 			e.idx.Update(lc.ID)
 			moved++
 		}
 	}
 	t := &e.l.Cells[id]
 	t.X, t.Y = cand.X, cand.Y
+	e.soa.Set(id, t.X, t.Y)
 	e.placed[id] = true
 	e.idx.Add(id)
 	e.st.Placed++
@@ -465,7 +475,7 @@ func (e *engine) evaluateFrozen(id int) mtResult {
 		out.cands += len(cands)
 		out.rows += win.Intersect(e.l.Die()).H
 		out.work += e.w.RegionCand*float64(len(cands)) + e.w.RegionRow*float64(win.H)
-		reg := region.ExtractFrom(e.l, e.placed, id, win, cands)
+		reg := region.ExtractFromSoA(e.soa, e.placed, id, e.l.Die(), win, cands)
 		var st fop.Stats
 		cand := fop.Best(reg, tg, opts, &st)
 		out.fopStats.Add(&st)

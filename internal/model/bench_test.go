@@ -1,0 +1,43 @@
+package model_test
+
+import (
+	"testing"
+
+	"github.com/flex-eda/flex/internal/gen"
+	"github.com/flex-eda/flex/internal/model"
+)
+
+func benchLayout(b *testing.B) *model.Layout {
+	l, err := gen.Small(4000, 0.72, 11).Generate(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+func BenchmarkCheck(b *testing.B) {
+	l := benchLayout(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Check(8)
+	}
+}
+
+func BenchmarkMeasure(b *testing.B) {
+	l := benchLayout(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Measure(l)
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	l := benchLayout(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Clone()
+	}
+}

@@ -1,0 +1,54 @@
+package model
+
+import "github.com/flex-eda/flex/internal/geom"
+
+// SoA is a structure-of-arrays mirror of a layout's cell geometry for
+// read-heavy kernels. Layout.Cells is an array of fat structs (name,
+// parity, metadata); the legalizer's extraction and query loops touch only
+// position and size, so scanning the AoS wastes most of each cache line.
+// SoA packs the five geometry fields into dense int32 arrays (plus the
+// fixed flags), cutting the scanned bytes per cell from sizeof(Cell) to
+// ~21 and keeping neighbouring cells' fields adjacent.
+//
+// The mirror is only valid while it is kept in sync: callers that move
+// cells must call Set with the new position. Concurrent readers are safe
+// as long as no Set runs (the batched engine's frozen parallel phase).
+type SoA struct {
+	X, Y, W, H, GX []int32
+	Fixed          []bool
+}
+
+// NewSoA snapshots the layout's current cell geometry.
+func NewSoA(l *Layout) *SoA {
+	n := len(l.Cells)
+	s := &SoA{
+		X: make([]int32, n), Y: make([]int32, n),
+		W: make([]int32, n), H: make([]int32, n),
+		GX: make([]int32, n), Fixed: make([]bool, n),
+	}
+	for i := range l.Cells {
+		c := &l.Cells[i]
+		s.X[i] = int32(c.X)
+		s.Y[i] = int32(c.Y)
+		s.W[i] = int32(c.W)
+		s.H[i] = int32(c.H)
+		s.GX[i] = int32(c.GX)
+		s.Fixed[i] = c.Fixed
+	}
+	return s
+}
+
+// Len returns the number of mirrored cells.
+func (s *SoA) Len() int { return len(s.X) }
+
+// Set records cell id's new position. Width, height, and global position
+// never change after construction.
+func (s *SoA) Set(id, x, y int) {
+	s.X[id] = int32(x)
+	s.Y[id] = int32(y)
+}
+
+// Rect returns the rectangle currently occupied by cell id.
+func (s *SoA) Rect(id int) geom.Rect {
+	return geom.NewRect(int(s.X[id]), int(s.Y[id]), int(s.W[id]), int(s.H[id]))
+}

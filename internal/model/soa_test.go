@@ -1,0 +1,43 @@
+package model_test
+
+import (
+	"testing"
+
+	"github.com/flex-eda/flex/internal/gen"
+	"github.com/flex-eda/flex/internal/model"
+)
+
+func TestSoAMirrorsLayout(t *testing.T) {
+	l, err := gen.Small(400, 0.6, 3).Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := model.NewSoA(l)
+	if s.Len() != len(l.Cells) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(l.Cells))
+	}
+	for i := range l.Cells {
+		c := &l.Cells[i]
+		if s.Rect(i) != c.Rect() || int(s.GX[i]) != c.GX || s.Fixed[i] != c.Fixed {
+			t.Fatalf("cell %d: SoA %v/%d/%v != layout %v/%d/%v",
+				i, s.Rect(i), s.GX[i], s.Fixed[i], c.Rect(), c.GX, c.Fixed)
+		}
+	}
+	// Set keeps the mirror in sync after a move.
+	s.Set(0, 7, 3)
+	if got := s.Rect(0); got.X != 7 || got.Y != 3 {
+		t.Fatalf("after Set: rect %v, want x=7 y=3", got)
+	}
+}
+
+// BenchmarkNewSoA prices the snapshot an engine takes once per run; the
+// extraction-path payoff is measured by BenchmarkExtractFromSoA in
+// internal/region, on the real access pattern.
+func BenchmarkNewSoA(b *testing.B) {
+	l := benchLayout(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.NewSoA(l)
+	}
+}

@@ -84,6 +84,7 @@ type SlidingWindow struct {
 	queue   []int
 	w       int
 	density func(id int) float64
+	dens    []float64 // per-pop density scratch, parallel to the window tail
 }
 
 // NewSlidingWindow builds the FLEX scheduler. w is the window length
@@ -111,11 +112,19 @@ func (s *SlidingWindow) Next() (int, bool) {
 		hi := geom.Min(s.w-1, len(s.queue))
 		if hi > 2 {
 			seg := s.queue[1:hi]
-			dens := make(map[int]float64, len(seg))
+			dens := s.dens[:0]
 			for _, v := range seg {
-				dens[v] = s.density(v)
+				dens = append(dens, s.density(v))
 			}
-			sort.SliceStable(seg, func(a, b int) bool { return dens[seg[a]] > dens[seg[b]] })
+			s.dens = dens
+			// Stable insertion sort, density descending: same order as a
+			// stable sort over a density map, without per-pop allocations.
+			for i := 1; i < len(seg); i++ {
+				for j := i; j > 0 && dens[j] > dens[j-1]; j-- {
+					seg[j], seg[j-1] = seg[j-1], seg[j]
+					dens[j], dens[j-1] = dens[j-1], dens[j]
+				}
+			}
 		}
 	}
 	return id, true
@@ -136,6 +145,7 @@ func (s *SlidingWindow) Remaining() int { return len(s.queue) }
 // by the spatial index: occupied area of indexed cells in a window around
 // the cell's global position over the window area.
 func DensityEstimator(l *model.Layout, idx *region.Index, winW, winH int) func(id int) float64 {
+	var buf []int // reused across estimates; estimator calls are serial
 	return func(id int) float64 {
 		c := &l.Cells[id]
 		win := geom.NewRect(c.GX+c.W/2-winW/2, c.GY+c.H/2-winH/2, winW, winH).Intersect(l.Die())
@@ -143,7 +153,8 @@ func DensityEstimator(l *model.Layout, idx *region.Index, winW, winH int) func(i
 			return 1
 		}
 		used := c.Area()
-		for _, other := range idx.Query(win, nil) {
+		buf = idx.Query(win, buf[:0])
+		for _, other := range buf {
 			if other == id {
 				continue
 			}

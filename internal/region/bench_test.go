@@ -1,0 +1,90 @@
+package region_test
+
+import (
+	"testing"
+
+	"github.com/flex-eda/flex/internal/gen"
+	"github.com/flex-eda/flex/internal/geom"
+	"github.com/flex-eda/flex/internal/model"
+	"github.com/flex-eda/flex/internal/region"
+)
+
+func benchIndex(b *testing.B) (*model.Layout, *region.Index) {
+	l, err := gen.Small(4000, 0.72, 11).Generate(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := region.NewIndex(l, 32, 8, nil)
+	return l, idx
+}
+
+// BenchmarkIndexQuery sweeps a legalizer-shaped window across the die,
+// the query pattern the mgl engine issues once per placed cell.
+func BenchmarkIndexQuery(b *testing.B) {
+	l, idx := benchIndex(b)
+	die := l.Die()
+	var dst []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := (i * 37) % (die.W - 64)
+		y := (i * 13) % (die.H - 16)
+		dst = idx.Query(geom.NewRect(x, y, 64, 16), dst[:0])
+	}
+	_ = dst
+}
+
+// BenchmarkExtractFrom builds the local region for a fixed window set,
+// the per-cell extraction step dominating the serial legalizer prologue.
+func BenchmarkExtractFrom(b *testing.B) {
+	l, idx := benchIndex(b)
+	die := l.Die()
+	placed := make([]bool, len(l.Cells))
+	target := -1
+	for i := range l.Cells {
+		placed[i] = true
+		if target < 0 && !l.Cells[i].Fixed {
+			target = i
+		}
+	}
+	wins := make([]geom.Rect, 16)
+	for i := range wins {
+		wins[i] = geom.NewRect((i*53)%(die.W-64), (i*17)%(die.H-16), 64, 16)
+	}
+	var cands []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		win := wins[i%len(wins)]
+		cands = idx.Query(win, cands[:0])
+		region.ExtractFrom(l, placed, target, win, cands)
+	}
+}
+
+// BenchmarkExtractFromSoA is BenchmarkExtractFrom reading candidate
+// geometry from the structure-of-arrays mirror, the mgl engine's path.
+func BenchmarkExtractFromSoA(b *testing.B) {
+	l, idx := benchIndex(b)
+	die := l.Die()
+	soa := model.NewSoA(l)
+	placed := make([]bool, len(l.Cells))
+	target := -1
+	for i := range l.Cells {
+		placed[i] = true
+		if target < 0 && !l.Cells[i].Fixed {
+			target = i
+		}
+	}
+	wins := make([]geom.Rect, 16)
+	for i := range wins {
+		wins[i] = geom.NewRect((i*53)%(die.W-64), (i*17)%(die.H-16), 64, 16)
+	}
+	var cands []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		win := wins[i%len(wins)]
+		cands = idx.Query(win, cands[:0])
+		region.ExtractFromSoA(soa, placed, target, die, win, cands)
+	}
+}

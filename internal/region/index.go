@@ -112,17 +112,21 @@ func (idx *Index) Update(id int) {
 }
 
 // Query appends to dst the IDs of indexed cells whose rect overlaps win,
-// without duplicates, and returns the extended slice.
+// without duplicates, and returns the extended slice. Deduplication is
+// allocation-free: a cell spanning several bins is accepted only at the
+// first query bin covering it in row-major order (its binned rect pins
+// that bin down), which also preserves first-encounter output order. No
+// state is shared across calls, so concurrent Query on one index is safe
+// as long as no writer runs.
 func (idx *Index) Query(win geom.Rect, dst []int) []int {
 	bx0, bx1, by0, by1 := idx.binRange(win)
-	seen := make(map[int]bool)
 	for by := by0; by <= by1; by++ {
 		for bx := bx0; bx <= bx1; bx++ {
 			for _, id := range idx.bins[by*idx.nx+bx] {
-				if seen[id] {
-					continue
+				hbx0, _, hby0, _ := idx.binRange(idx.where[id])
+				if by != geom.Max(by0, hby0) || bx != geom.Max(bx0, hbx0) {
+					continue // counted at its first covering bin already
 				}
-				seen[id] = true
 				if idx.l.Cells[id].Rect().Overlaps(win) {
 					dst = append(dst, id)
 				}

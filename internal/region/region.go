@@ -14,6 +14,9 @@ import (
 	"github.com/flex-eda/flex/internal/model"
 )
 
+// iv is a blocked x-interval within one window row.
+type iv struct{ lo, hi int }
+
 // LocalCell is a cell participating in a localRegion, with a private copy of
 // its position so FOP can shift it hypothetically without touching the
 // layout.
@@ -111,13 +114,16 @@ func (r *Region) Validate() error {
 }
 
 // SortSegmentCells re-sorts every segment's cell list by current X. Shifting
-// algorithms call it after moving cells.
+// algorithms call it after moving cells; a stable insertion sort fits the
+// workload (short, nearly sorted lists) without closure allocations.
 func (r *Region) SortSegmentCells() {
 	for si := range r.Segments {
-		seg := &r.Segments[si]
-		sort.SliceStable(seg.Cells, func(a, b int) bool {
-			return r.Cells[seg.Cells[a]].X < r.Cells[seg.Cells[b]].X
-		})
+		cells := r.Segments[si].Cells
+		for i := 1; i < len(cells); i++ {
+			for j := i; j > 0 && r.Cells[cells[j]].X < r.Cells[cells[j-1]].X; j-- {
+				cells[j], cells[j-1] = cells[j-1], cells[j]
+			}
+		}
 	}
 }
 
@@ -164,6 +170,19 @@ func Extract(l *model.Layout, placed []bool, targetID int, win geom.Rect) *Regio
 	return ExtractFrom(l, placed, targetID, win, candidates)
 }
 
+// candCell is one gathered extraction candidate: exactly the geometry the
+// fixpoint touches, packed densely so its iterations stay cache-resident
+// instead of striding through the layout's fat Cell structs.
+type candCell struct {
+	id             int32
+	x, y, w, h, gx int32
+	movable        bool
+}
+
+func (c *candCell) rect() geom.Rect {
+	return geom.NewRect(int(c.x), int(c.y), int(c.w), int(c.h))
+}
+
 // ExtractFrom is Extract with a precomputed candidate set (typically an
 // Index query over the window). Candidates outside the window, unplaced
 // movable candidates, and the target itself are ignored.
@@ -179,8 +198,7 @@ func ExtractFrom(l *model.Layout, placed []bool, targetID int, win geom.Rect, ra
 	if win.Empty() {
 		return r
 	}
-
-	candidates := make([]int, 0, len(rawCandidates))
+	cands := make([]candCell, 0, len(rawCandidates))
 	for _, i := range rawCandidates {
 		if i == targetID {
 			continue
@@ -190,38 +208,91 @@ func ExtractFrom(l *model.Layout, placed []bool, targetID int, win geom.Rect, ra
 			continue
 		}
 		if c.Rect().Overlaps(win) {
-			candidates = append(candidates, i)
+			cands = append(cands, candCell{
+				id: int32(i), x: int32(c.X), y: int32(c.Y),
+				w: int32(c.W), h: int32(c.H), gx: int32(c.GX),
+				movable: !c.Fixed,
+			})
 		}
 	}
+	extractCore(r, target.GX, cands)
+	return r
+}
+
+// ExtractFromSoA is ExtractFrom reading candidate geometry from a
+// structure-of-arrays mirror instead of the layout's cell structs; the
+// mirror must be in sync with l. Results are identical — the fixpoint
+// sees the same geometry either way.
+func ExtractFromSoA(soa *model.SoA, placed []bool, targetID int, die, win geom.Rect, rawCandidates []int) *Region {
+	win = win.Intersect(die)
+	r := &Region{
+		Target:  targetID,
+		TargetW: int(soa.W[targetID]),
+		TargetH: int(soa.H[targetID]),
+		Window:  win,
+	}
+	if win.Empty() {
+		return r
+	}
+	cands := make([]candCell, 0, len(rawCandidates))
+	for _, i := range rawCandidates {
+		if i == targetID {
+			continue
+		}
+		if !soa.Fixed[i] && !placed[i] {
+			continue
+		}
+		if soa.Rect(i).Overlaps(win) {
+			cands = append(cands, candCell{
+				id: int32(i), x: soa.X[i], y: soa.Y[i],
+				w: soa.W[i], h: soa.H[i], gx: soa.GX[i],
+				movable: !soa.Fixed[i],
+			})
+		}
+	}
+	extractCore(r, int(soa.GX[targetID]), cands)
+	return r
+}
+
+// extractCore runs the fixpoint and materialization over the gathered
+// candidates. targetGX is the target's global x (window-centring hint).
+func extractCore(r *Region, targetGX int, cands []candCell) {
+	win := r.Window
 	// Greatest-fixpoint iteration: start from the maximal tentative set
 	// (every movable candidate fully inside the window) and demote cells
 	// that fall outside the segments their own demoted peers induce. The
-	// set shrinks monotonically, so the loop terminates.
-	local := make(map[int]bool)
-	for _, id := range candidates {
-		c := &l.Cells[id]
-		if !c.Fixed && win.Contains(c.Rect()) {
-			local[id] = true
+	// set shrinks monotonically, so the loop terminates. local is indexed
+	// by candidate position; the segment and blocked-interval buffers are
+	// allocated once and reused across iterations.
+	local := make([]bool, len(cands))
+	for k := range cands {
+		c := &cands[k]
+		if c.movable && win.Contains(c.rect()) {
+			local[k] = true
 		}
 	}
+	r.Segments = make([]Segment, win.H)
+	blocked := make([][]iv, win.H)
 	for {
-		buildSegments(l, r, candidates, local)
-		newLocal := classify(l, r, candidates, local)
-		if equalSet(local, newLocal) {
+		buildSegments(r, targetGX, cands, local, blocked)
+		if !demote(r, cands, local) {
 			break
 		}
-		local = newLocal
 	}
 
-	// Materialize localCells and per-segment lists.
-	ids := make([]int, 0, len(local))
-	for id := range local {
-		ids = append(ids, id)
+	// Materialize localCells (ascending cell ID) and per-segment lists.
+	sel := make([]int, 0, len(cands))
+	for k := range cands {
+		if local[k] {
+			sel = append(sel, k)
+		}
 	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		c := &l.Cells[id]
-		r.Cells = append(r.Cells, LocalCell{ID: id, X: c.X, Y: c.Y, GX: c.GX, W: c.W, H: c.H})
+	sort.Slice(sel, func(a, b int) bool { return cands[sel[a]].id < cands[sel[b]].id })
+	for _, k := range sel {
+		c := &cands[k]
+		r.Cells = append(r.Cells, LocalCell{
+			ID: int(c.id), X: int(c.x), Y: int(c.y), GX: int(c.gx), W: int(c.w), H: int(c.h),
+		})
 	}
 	for li := range r.Cells {
 		c := &r.Cells[li]
@@ -238,7 +309,7 @@ func ExtractFrom(l *model.Layout, placed []bool, targetID int, win geom.Rect, ra
 	for i := range r.Segments {
 		capacity += r.Segments[i].Len()
 	}
-	used := target.Area()
+	used := r.TargetW * r.TargetH
 	for li := range r.Cells {
 		used += r.Cells[li].W * r.Cells[li].H
 	}
@@ -247,7 +318,6 @@ func ExtractFrom(l *model.Layout, placed []bool, targetID int, win geom.Rect, ra
 	} else {
 		r.Density = 1
 	}
-	return r
 }
 
 // buildSegments recomputes the per-row localSegment given the obstacle set
@@ -257,32 +327,37 @@ func ExtractFrom(l *model.Layout, placed []bool, targetID int, win geom.Rect, ra
 // when the desired position is blocked. With windows small relative to
 // blockage spacing (the normal case) the two rules coincide; the preference
 // matters for expanded/fallback windows that straddle blockages.
-func buildSegments(l *model.Layout, r *Region, candidates []int, local map[int]bool) {
+func buildSegments(r *Region, targetGX int, cands []candCell, local []bool, blocked [][]iv) {
 	win := r.Window
-	target := &l.Cells[r.Target]
-	cx := target.GX + target.W/2
+	cx := targetGX + r.TargetW/2
 	if cx < win.X {
 		cx = win.X
 	}
 	if cx >= win.X+win.W {
 		cx = win.X + win.W - 1
 	}
-	r.Segments = make([]Segment, win.H)
-	type iv struct{ lo, hi int }
-	blocked := make([][]iv, win.H)
-	for _, id := range candidates {
-		if local != nil && local[id] {
+	for i := range blocked {
+		blocked[i] = blocked[i][:0]
+	}
+	for k := range cands {
+		if local[k] {
 			continue
 		}
-		c := &l.Cells[id]
-		for row := geom.Max(c.Y, win.Y); row < geom.Min(c.Y+c.H, win.Y+win.H); row++ {
-			blocked[row-win.Y] = append(blocked[row-win.Y], iv{c.X, c.X + c.W})
+		c := &cands[k]
+		cy, ch, cxlo, cw := int(c.y), int(c.h), int(c.x), int(c.w)
+		for row := geom.Max(cy, win.Y); row < geom.Min(cy+ch, win.Y+win.H); row++ {
+			blocked[row-win.Y] = append(blocked[row-win.Y], iv{cxlo, cxlo + cw})
 		}
 	}
 	for i := 0; i < win.H; i++ {
 		row := win.Y + i
 		ivs := blocked[i]
-		sort.Slice(ivs, func(a, b int) bool { return ivs[a].lo < ivs[b].lo })
+		// Insertion sort: per-row obstacle lists are short.
+		for a := 1; a < len(ivs); a++ {
+			for b := a; b > 0 && ivs[b].lo < ivs[b-1].lo; b-- {
+				ivs[b], ivs[b-1] = ivs[b-1], ivs[b]
+			}
+		}
 		longLo, longHi := 0, 0  // longest free run
 		homeLo, homeHi := 0, -1 // run containing cx (if any)
 		cur := win.X
@@ -313,44 +388,33 @@ func buildSegments(l *model.Layout, r *Region, candidates []int, local map[int]b
 	}
 }
 
-// classify returns the subset of the tentative localCells still fully
-// contained in the current segments: demotion-only refinement.
-func classify(l *model.Layout, r *Region, candidates []int, tentative map[int]bool) map[int]bool {
-	local := make(map[int]bool)
-	for _, id := range candidates {
-		if !tentative[id] {
+// demote clears the local flag of every tentative localCell no longer
+// fully contained in the current segments (demotion-only refinement) and
+// reports whether anything changed. In-place demotion is equivalent to
+// rebuilding the set: segments are fixed during one pass, and each cell's
+// verdict depends only on its own geometry against them.
+func demote(r *Region, cands []candCell, local []bool) bool {
+	changed := false
+	for k := range cands {
+		if !local[k] {
 			continue
 		}
-		c := &l.Cells[id]
-		if c.Fixed {
-			continue
-		}
-		if !r.Window.Contains(c.Rect()) {
-			continue
-		}
-		ok := true
-		for row := c.Y; row < c.Y+c.H; row++ {
-			seg := r.SegmentAt(row)
-			if seg == nil || c.X < seg.Lo || c.X+c.W > seg.Hi {
-				ok = false
-				break
+		c := &cands[k]
+		cx, cy, cw, ch := int(c.x), int(c.y), int(c.w), int(c.h)
+		ok := r.Window.Contains(c.rect())
+		if ok {
+			for row := cy; row < cy+ch; row++ {
+				seg := r.SegmentAt(row)
+				if seg == nil || cx < seg.Lo || cx+cw > seg.Hi {
+					ok = false
+					break
+				}
 			}
 		}
-		if ok {
-			local[id] = true
+		if !ok {
+			local[k] = false
+			changed = true
 		}
 	}
-	return local
-}
-
-func equalSet(a, b map[int]bool) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k := range a {
-		if !b[k] {
-			return false
-		}
-	}
-	return true
+	return changed
 }
