@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check doccheck lint test race bench bench-record benchdiff ci
+.PHONY: all build vet fmt-check doccheck flexvet lint test race bench bench-record benchdiff ci
 
 # The canonical perf-trajectory recording command (docs/BENCHMARKING.md).
 # -workers 1 keeps reconfiguration counts deterministic so the file is
@@ -29,13 +29,20 @@ fmt-check:
 doccheck:
 	$(GO) run ./cmd/doccheck
 
-lint: vet fmt-check doccheck
+# The repo's own analyzers (docs/ANALYSIS.md): determinism, device-token,
+# and output-discipline invariants, machine-enforced.
+flexvet:
+	$(GO) run ./cmd/flexvet ./...
 
+lint: vet fmt-check doccheck flexvet
+
+# -shuffle=on randomizes test order so accidental inter-test coupling
+# fails loudly instead of passing by luck.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -shuffle=on -race ./...
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

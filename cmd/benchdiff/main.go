@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchdiff [-op-tol 0] [-sec-tol 0] [-allow-missing] [-wall-tol D] old.json new.json
+//	benchdiff [-op-tol 0] [-sec-tol 0] [-allow-missing] old.json new.json
 //
 // Records are matched by (experiment, design, engine, config). A
 // regression is an op count or modeled-seconds value in the new file
@@ -16,9 +16,10 @@
 // trajectory is allowed to grow). Legality may never regress: a record
 // that was legal and no longer is fails at any tolerance.
 //
-// -wall-tol is accepted for interface symmetry with op/sec tolerances and
-// is a documented no-op: BENCH files never contain wall-clock time
-// (that is what keeps them byte-stable), so there is nothing to check.
+// There is deliberately no wall-clock tolerance flag: BENCH files never
+// contain wall-clock time (that is what keeps them byte-stable), so there
+// is nothing such a flag could check. Passing the removed -wall-tol flag
+// is an error that says so.
 //
 // Exit status: 0 when the new file is no worse, 1 on any regression,
 // 2 on usage or file errors.
@@ -28,7 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"strings"
 
 	"github.com/flex-eda/flex/internal/benchjson"
 )
@@ -127,17 +128,22 @@ func diff(oldF, newF *benchjson.File, opt diffOptions) []finding {
 }
 
 func main() {
+	for _, arg := range os.Args[1:] {
+		if arg == "--" {
+			break
+		}
+		if t := strings.TrimLeft(arg, "-"); arg != t && (t == "wall-tol" || strings.HasPrefix(t, "wall-tol=")) {
+			fmt.Fprintln(os.Stderr, "benchdiff: -wall-tol was removed: wall clock never enters BENCH files by design, so there is nothing for it to tolerate (see docs/BENCHMARKING.md)")
+			os.Exit(2)
+		}
+	}
 	opTol := flag.Float64("op-tol", 0, "relative tolerance on op-count growth (0 = byte-deterministic counts must not grow)")
 	secTol := flag.Float64("sec-tol", 0, "relative tolerance on modeled-seconds growth")
 	allowMissing := flag.Bool("allow-missing", false, "tolerate records present in old but absent from new")
-	wallTol := flag.Duration("wall-tol", 0, "accepted and ignored: BENCH files carry no wall clock (see docs/BENCHMARKING.md)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-op-tol F] [-sec-tol F] [-allow-missing] [-wall-tol D] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-op-tol F] [-sec-tol F] [-allow-missing] old.json new.json")
 		os.Exit(2)
-	}
-	if *wallTol != time.Duration(0) {
-		fmt.Fprintln(os.Stderr, "benchdiff: -wall-tol is a no-op: wall clock never enters BENCH files by design")
 	}
 
 	oldF, err := benchjson.ReadFile(flag.Arg(0))
@@ -159,11 +165,12 @@ func main() {
 			tag = "REGRESSION"
 			regressions++
 		}
-		fmt.Printf("%s: %s\n", tag, f)
+		fmt.Printf("%s: %s\n", tag, f) //flexvet:stdout findings are benchdiff's result
 	}
 	if regressions > 0 {
+		//flexvet:stdout the verdict line is benchdiff's result
 		fmt.Printf("benchdiff: %d regression(s) between %s and %s\n", regressions, flag.Arg(0), flag.Arg(1))
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: %s is no worse than %s\n", flag.Arg(1), flag.Arg(0))
+	fmt.Printf("benchdiff: %s is no worse than %s\n", flag.Arg(1), flag.Arg(0)) //flexvet:stdout the verdict line is benchdiff's result
 }

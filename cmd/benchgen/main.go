@@ -28,7 +28,7 @@ func main() {
 
 	if *list {
 		for _, n := range flex.Designs() {
-			fmt.Println(n)
+			fmt.Println(n) //flexvet:stdout the design listing is -list's result
 		}
 		return
 	}
@@ -42,11 +42,16 @@ func main() {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := flex.WriteLayout(f, l); err != nil {
+		// Close explicitly and keep the first error: a deferred close
+		// would silently drop write-back failures on a full disk.
+		err = flex.WriteLayout(f, l)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			return err
 		}
-		fmt.Printf("%s: %d cells -> %s\n", name, len(l.Cells), path)
+		fmt.Fprintf(os.Stderr, "%s: %d cells -> %s\n", name, len(l.Cells), path)
 		return nil
 	}
 

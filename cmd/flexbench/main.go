@@ -236,9 +236,9 @@ func main() {
 			return
 		}
 		ran = true
-		fmt.Printf("==> %s\n", name)
+		fmt.Printf("==> %s\n", name) //flexvet:stdout section headers are part of the byte-compared tables
 		runWithStats(name, f)
-		fmt.Println()
+		fmt.Println() //flexvet:stdout section separator, part of the byte-compared tables
 	}
 
 	runSelected := func() {
@@ -321,7 +321,7 @@ func main() {
 		// Extension experiments (not paper figures).
 		if *exp == "scalability" {
 			ran = true
-			fmt.Println("==> scalability")
+			fmt.Println("==> scalability") //flexvet:stdout section header, part of the byte-compared tables
 			runWithStats("scalability", func(o experiments.Options) error {
 				pts, err := experiments.Scalability(o, 5)
 				if err != nil {
@@ -333,7 +333,7 @@ func main() {
 		}
 		if *exp == "ordering" {
 			ran = true
-			fmt.Println("==> ordering")
+			fmt.Println("==> ordering") //flexvet:stdout section header, part of the byte-compared tables
 			runWithStats("ordering", func(o experiments.Options) error {
 				pts, err := experiments.OrderingAblation(o)
 				if err != nil {
@@ -345,7 +345,7 @@ func main() {
 		}
 		if *exp == "sched" || *exp == "bench" {
 			ran = true
-			fmt.Println("==> sched")
+			fmt.Println("==> sched") //flexvet:stdout section header, part of the byte-compared tables
 			runWithStats("sched", func(o experiments.Options) error {
 				pts, err := experiments.Sched(o, *schedJobs)
 				if err != nil {
@@ -369,7 +369,7 @@ func main() {
 		}
 		if *exp == "sharded" || *exp == "bench" {
 			ran = true
-			fmt.Println("==> sharded")
+			fmt.Println("==> sharded") //flexvet:stdout section header, part of the byte-compared tables
 			runWithStats("sharded", func(o experiments.Options) error {
 				pts, err := experiments.Sharded(o, *shards, *shardHalo)
 				if err != nil {
@@ -397,9 +397,10 @@ func main() {
 	}
 	var prev cache.Stats
 	for rep = 1; rep <= *repeat; rep++ {
-		start := time.Now()
+		start := time.Now() //flexvet:walltime per-repetition wall for the stderr run line
 		runSelected()
 		if layouts != nil || *repeat > 1 {
+			//flexvet:walltime the run line goes to stderr; stdout tables stay clock-free
 			line := fmt.Sprintf("run %d/%d: wall %v", rep, *repeat, time.Since(start).Round(time.Millisecond))
 			if layouts != nil {
 				st := layouts.Stats()

@@ -165,6 +165,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "flexlg: -deadline-ms must be >= 0")
 		os.Exit(2)
 	} else if *deadlineMS > 0 {
+		//flexvet:walltime -deadline-ms is wall-relative by definition; it gates scheduling, never output bytes
 		deadline = time.Now().Add(time.Duration(*deadlineMS) * time.Millisecond)
 	}
 	if *in != "" && *design != "" {
@@ -195,7 +196,7 @@ func main() {
 			os.Exit(1)
 		}
 		layout, err = flex.ReadLayout(f)
-		f.Close()
+		f.Close() //flexvet:close read-side close; decode failures already surface through ReadLayout's error
 	case *design != "" && *cacheMB <= 0:
 		layout, err = flex.Generate(*design, *scale)
 		designRef = ""
@@ -266,6 +267,7 @@ func main() {
 		flex.WithCacheBytes(int64(*cacheMB)<<20),
 		flex.WithScheduler(scheduler),
 		flex.WithReconfigCost(time.Duration(*reconfigMS)*time.Millisecond))
+	//flexvet:close shutdown close at CLI exit: the pool drained with Submit, so there is no error left to act on
 	defer svc.Close()
 	sum, err := svc.Submit(context.Background(), jobs, flex.SubmitOptions{OnResult: progress, OnShard: shardProgress})
 	if err != nil {
@@ -286,20 +288,10 @@ func main() {
 			exit = 1
 			continue
 		}
-		res := r.Outcome
-		fmt.Printf("engine:          %s\n", res.Engine)
-		fmt.Printf("cells:           %d movable\n", res.Metrics.Movable)
-		fmt.Printf("legal:           %v\n", res.Legal)
-		fmt.Printf("aveDis (rows):   %.3f\n", res.Metrics.AveDis)
-		fmt.Printf("maxDis (rows):   %.3f\n", res.Metrics.MaxDis)
-		fmt.Printf("modeled seconds: %.6f\n", res.ModeledSeconds)
-		if !res.Legal {
+		printOutcome(r.Outcome)
+		if !r.Outcome.Legal {
 			exit = 1
-			for _, v := range res.Violations {
-				fmt.Printf("violation: %v\n", v)
-			}
 		}
-		fmt.Println()
 	}
 	if len(sum.Results) > 1 {
 		fpgaDesc := "unlimited fpgas"
@@ -337,7 +329,27 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote:           %s\n", *out)
+		fmt.Printf("wrote:           %s\n", *out) //flexvet:stdout the written path is part of the result report
 	}
 	os.Exit(exit)
+}
+
+// printOutcome writes one engine's result block — flexlg's stdout
+// payload, byte-identical across workers x fpgas x scheduler grids and
+// cmp-gated in CI.
+//
+//flexvet:stdout the result block is the tool's output; run commentary goes to stderr
+func printOutcome(res *flex.Outcome) {
+	fmt.Printf("engine:          %s\n", res.Engine)
+	fmt.Printf("cells:           %d movable\n", res.Metrics.Movable)
+	fmt.Printf("legal:           %v\n", res.Legal)
+	fmt.Printf("aveDis (rows):   %.3f\n", res.Metrics.AveDis)
+	fmt.Printf("maxDis (rows):   %.3f\n", res.Metrics.MaxDis)
+	fmt.Printf("modeled seconds: %.6f\n", res.ModeledSeconds)
+	if !res.Legal {
+		for _, v := range res.Violations {
+			fmt.Printf("violation: %v\n", v)
+		}
+	}
+	fmt.Println()
 }

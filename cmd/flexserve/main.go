@@ -121,5 +121,7 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, err)
 	}
-	svc.Close()
+	if err := svc.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
 }

@@ -281,6 +281,7 @@ func (s *server) parseJobs(r *http.Request) ([]flex.BatchJob, legalizeRequest, e
 		if jr.DeadlineMs > 0 {
 			// Relative on the wire, absolute in the scheduler: the clock
 			// starts at request arrival.
+			//flexvet:walltime deadlineMs is wall-relative by API contract; it gates scheduling, never result bytes
 			j.Deadline = time.Now().Add(time.Duration(jr.DeadlineMs) * time.Millisecond)
 		}
 		switch {
@@ -376,6 +377,7 @@ func parseDeadlineMs(v string) (time.Time, error) {
 	if n == 0 {
 		return time.Time{}, nil
 	}
+	//flexvet:walltime deadlineMs is wall-relative by API contract; it gates scheduling, never result bytes
 	return time.Now().Add(time.Duration(n) * time.Millisecond), nil
 }
 
@@ -436,7 +438,7 @@ func (s *server) handleLegalize(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	start := time.Now()
+	start := time.Now() //flexvet:walltime request wall for the NDJSON summary's wallMs telemetry field
 	ch, err := s.svc.Stream(r.Context(), jobs, flex.SubmitOptions{FailFast: req.FailFast})
 	var clientErr *flex.ClientOverloadedError
 	switch {
@@ -514,6 +516,7 @@ func (s *server) handleLegalize(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	sum.Done = true
+	//flexvet:walltime wallMs is service telemetry on the summary line; layouts and BENCH files never carry it
 	sum.WallMs = ms(time.Since(start))
 	enc.Encode(sum)
 }

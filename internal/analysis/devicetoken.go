@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Devicetoken verifies that every AcquireDevice call releases its board
+// token on all paths — a leaked token is a modeled board that stays busy
+// forever, wedging every later accelerator job (the bug class PR 2 fixed
+// by hand; this analyzer keeps it fixed).
+//
+// The accepted shapes, checked structurally over the enclosing block:
+//
+//	release, err := batch.AcquireDevice(ctx)
+//	if err != nil { return ... }   // no token on the error path
+//	defer release()                // or release() before every return
+//
+// Returns guarded by the acquire's error identifier are exempt (a failed
+// acquire grants no token). Passing the release func to another function,
+// storing it, or returning it transfers ownership and ends the check.
+// Discarding it (`_, err :=`) or letting any return/fall-through path
+// skip it is a diagnostic, suppressible with //flexvet:release <reason>.
+var Devicetoken = &Analyzer{
+	Name:         "devicetoken",
+	Doc:          "flag AcquireDevice tokens that are not released on every path",
+	JustifyToken: "release",
+	Run:          runDevicetoken,
+}
+
+func runDevicetoken(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				assign, call := acquireAssign(stmt)
+				if assign == nil {
+					continue
+				}
+				if pass.Justified(call) {
+					continue
+				}
+				rel, okIdent := assign.Lhs[0].(*ast.Ident)
+				if !okIdent || rel.Name == "_" {
+					pass.Reportf(call.Pos(),
+						"AcquireDevice release func is discarded: the board token can never be released")
+					continue
+				}
+				var errObj types.Object
+				if errIdent, ok := assign.Lhs[1].(*ast.Ident); ok && errIdent.Name != "_" {
+					errObj = pass.Pkg.Info.Defs[errIdent]
+					if errObj == nil {
+						errObj = pass.Pkg.Info.Uses[errIdent]
+					}
+				}
+				relObj := pass.Pkg.Info.Defs[rel]
+				if relObj == nil {
+					relObj = pass.Pkg.Info.Uses[rel]
+				}
+				w := &releaseWalker{info: pass.Pkg.Info, rel: relObj, errObj: errObj}
+				released, terminated := w.scan(block.List[i+1:], false)
+				if w.leak || (!released && !terminated) {
+					pass.Reportf(call.Pos(),
+						"device token from AcquireDevice may leak: release it with defer or on every return path (//flexvet:release <reason> to justify)")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// acquireAssign matches `rel, err := AcquireDevice(...)` (any qualifier)
+// and returns the assignment and call, or nils.
+func acquireAssign(stmt ast.Stmt) (*ast.AssignStmt, *ast.CallExpr) {
+	assign, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 2 || len(assign.Rhs) != 1 {
+		return nil, nil
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil, nil
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		if fn.Name == "AcquireDevice" {
+			return assign, call
+		}
+	case *ast.SelectorExpr:
+		if fn.Sel.Name == "AcquireDevice" {
+			return assign, call
+		}
+	}
+	return nil, nil
+}
+
+// releaseWalker tracks whether the release func is guaranteed to run,
+// scanning statements structurally (no CFG: if/for/switch bodies are
+// visited, error-guarded branches are exempt).
+type releaseWalker struct {
+	info   *types.Info
+	rel    types.Object // the release func value
+	errObj types.Object // the acquire's error (returns under its guard are exempt)
+	leak   bool         // a return without release was found
+}
+
+// scan walks stmts with the given released state and reports whether the
+// token is released on fall-through and whether control always terminates
+// (return/exit/panic) before falling through. Leaky returns found along
+// the way are recorded in w.leak.
+func (w *releaseWalker) scan(stmts []ast.Stmt, released bool) (bool, bool) {
+	for _, stmt := range stmts {
+		if released {
+			// Release funcs are idempotent: once released (or deferred,
+			// or ownership moved), nothing later can leak.
+			return true, false
+		}
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if w.isReleaseCall(s.X) {
+				released = true
+				continue
+			}
+			if isTerminalCall(w.info, s.X) {
+				// os.Exit/panic before release: the process (or stack)
+				// dies holding the token; the modeled board pool dies
+				// with the process, so this is not a leak.
+				return released, true
+			}
+			if w.usesRel(s) {
+				released = true // escaped into a call: ownership moved
+			}
+		case *ast.DeferStmt:
+			if w.callsRelease(s.Call) || w.usesRel(s.Call) {
+				released = true
+			}
+		case *ast.ReturnStmt:
+			if w.usesRel(s) {
+				return true, true // release func returned to the caller
+			}
+			w.leak = true
+			return released, true
+		case *ast.IfStmt:
+			if w.mentionsErr(s.Cond) {
+				// Error-guarded branch: acquire failed, no token held.
+				continue
+			}
+			bRel, bTerm := w.scan(s.Body.List, released)
+			eRel, eTerm := released, false
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					eRel, eTerm = w.scan(e.List, released)
+				case *ast.IfStmt:
+					eRel, eTerm = w.scan([]ast.Stmt{e}, released)
+				}
+			}
+			switch {
+			case bTerm && eTerm:
+				return released, true
+			case bTerm:
+				released = eRel
+			case eTerm:
+				released = bRel
+			default:
+				released = bRel && eRel
+			}
+		case *ast.BlockStmt:
+			rel, term := w.scan(s.List, released)
+			if term {
+				return rel, true
+			}
+			released = rel
+		case *ast.ForStmt:
+			// The loop may run zero times: body releases do not count,
+			// but returns inside still must release.
+			w.scan(s.Body.List, released)
+		case *ast.RangeStmt:
+			w.scan(s.Body.List, released)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// Conservative: case bodies are checked for leaky returns,
+			// their releases do not propagate past the switch.
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				switch cc := n.(type) {
+				case *ast.CaseClause:
+					w.scan(cc.Body, released)
+					return false
+				case *ast.CommClause:
+					w.scan(cc.Body, released)
+					return false
+				}
+				return true
+			})
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && w.rel != nil && w.info.Uses[id] == w.rel {
+					return true, false // rebound: stop tracking the old value
+				}
+			}
+			if w.usesRel(s) {
+				released = true // stored somewhere: ownership moved
+			}
+		case *ast.GoStmt:
+			if w.usesRel(s.Call) {
+				released = true
+			}
+		default:
+			if w.usesRel(stmt) {
+				released = true
+			}
+		}
+	}
+	return released, false
+}
+
+// isReleaseCall matches a direct call of the release func value.
+func (w *releaseWalker) isReleaseCall(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	return ok && w.callsRelease(call)
+}
+
+func (w *releaseWalker) callsRelease(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && w.rel != nil && w.info.Uses[id] == w.rel
+}
+
+// usesRel reports whether n references the release func value at all.
+func (w *releaseWalker) usesRel(n ast.Node) bool {
+	if w.rel == nil {
+		return false
+	}
+	used := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && w.info.Uses[id] == w.rel {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// mentionsErr reports whether cond references the acquire's error object.
+func (w *releaseWalker) mentionsErr(cond ast.Expr) bool {
+	if w.errObj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && w.info.Uses[id] == w.errObj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isTerminalCall matches calls that never return: os.Exit, panic,
+// log.Fatal*.
+func isTerminalCall(info *types.Info, expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		return true
+	}
+	return isPkgCall(info, call, "os", "Exit") ||
+		isPkgCall(info, call, "log", "Fatal", "Fatalf", "Fatalln")
+}

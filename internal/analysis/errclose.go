@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Errclose requires cmd/* main paths to check the error from Close() and
+// Flush() calls that return one — the flexlg -out bug class, where a
+// deferred or bare close silently dropped write-back errors and the tool
+// reported success over a truncated file.
+//
+// Flagged forms (only when the method's signature returns an error):
+//
+//	w.Close()         // bare call, error dropped
+//	defer w.Flush()   // deferred, error unobservable
+//	_ = w.Close()     // explicit discard still hides write failures
+//
+// Methods that return nothing (http.Flusher.Flush) are not flagged.
+// Read-side closes and shutdown-path closes where the error is genuinely
+// inconsequential carry //flexvet:close <reason>.
+var Errclose = &Analyzer{
+	Name:         "errclose",
+	Doc:          "flag unchecked Close/Flush errors in cmd/*",
+	JustifyToken: "close",
+	Run:          runErrclose,
+}
+
+func runErrclose(pass *Pass) {
+	if !inCmd(pass.Pkg) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call := closeCall(pass.Pkg.Info, s.X); call != nil && !pass.Justified(call) {
+					pass.Reportf(call.Pos(),
+						"%s error is dropped: check it (or //flexvet:close <reason>)", callName(call))
+				}
+			case *ast.DeferStmt:
+				if call := closeCallExpr(pass.Pkg.Info, s.Call); call != nil && !pass.Justified(s) {
+					pass.Reportf(s.Pos(),
+						"deferred %s discards its error: close explicitly and check (or //flexvet:close <reason>)", callName(call))
+				}
+			case *ast.AssignStmt:
+				if len(s.Lhs) == 1 && len(s.Rhs) == 1 && isBlank(s.Lhs[0]) {
+					if call := closeCall(pass.Pkg.Info, s.Rhs[0]); call != nil && !pass.Justified(s) {
+						pass.Reportf(s.Pos(),
+							"_ = %s hides write failures: check the error (or //flexvet:close <reason>)", callName(call))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isBlank matches the blank identifier.
+func isBlank(expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// closeCall matches expr as a call to a method named Close or Flush whose
+// signature returns an error.
+func closeCall(info *types.Info, expr ast.Expr) *ast.CallExpr {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	return closeCallExpr(info, call)
+}
+
+func closeCallExpr(info *types.Info, call *ast.CallExpr) *ast.CallExpr {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Flush") {
+		return nil
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if named, ok := sig.Results().At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return call
+		}
+	}
+	return nil
+}
+
+// callName renders "recv.Close()" for a diagnostic.
+func callName(call *ast.CallExpr) string {
+	sel := call.Fun.(*ast.SelectorExpr)
+	if id := firstIdent(sel.X); id != nil {
+		return id.Name + "." + sel.Sel.Name + "()"
+	}
+	return sel.Sel.Name + "()"
+}

@@ -1,0 +1,118 @@
+package analysis
+
+// The fixture harness: each analyzer has a testdata/<name>/ package with
+// a violating file whose flagged lines carry `// want "regexp"` comments
+// (several per line allowed) and a clean file with none. The harness
+// type-checks the fixture like a real package, runs exactly one analyzer
+// through RunAnalyzers (so unused-justification and comment-grammar
+// diagnostics fire too), and then requires a one-to-one match: every
+// diagnostic must land on a line with a matching want, and every want
+// must be consumed — asserting exact positions and messages both ways.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureFset and fixtureImporter are shared across fixture tests so the
+// stdlib packages the fixtures import are type-checked from source once.
+var (
+	fixtureFset     = token.NewFileSet()
+	fixtureImporter = sync.OnceValue(func() types.Importer {
+		return importer.ForCompiler(fixtureFset, "source", nil)
+	})
+)
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// expectation is one `// want` assertion at file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// runFixture loads testdata/<dir> as import path importPath, runs the one
+// analyzer, and matches diagnostics against want comments.
+func runFixture(t *testing.T, az *Analyzer, dir, importPath string) {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", dir, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no fixtures under testdata/%s: %v", dir, err)
+	}
+	var files []*ast.File
+	var wants []*expectation
+	for _, path := range paths {
+		f, err := parser.ParseFile(fixtureFset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fixtureFset.Position(c.Pos())
+				for _, pat := range splitQuoted(t, pos, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	pkg, err := Check(fixtureFset, fixtureImporter(), importPath, files)
+	if err != nil {
+		t.Fatalf("fixture does not type-check: %v", err)
+	}
+	for _, d := range RunAnalyzers([]*Analyzer{az}, pkg) {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.File && w.line == d.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %q, but no diagnostic matched", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// splitQuoted parses the quoted regexp list after `// want`.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			t.Fatalf("%s: want patterns must be double-quoted: %q", pos, s)
+		}
+		end := strings.Index(s[1:], `"`)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern: %q", pos, s)
+		}
+		out = append(out, s[1:1+end])
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}

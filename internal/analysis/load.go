@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+}
+
+// Load resolves patterns (e.g. "./...") with the go tool from dir, then
+// parses and type-checks every matched package's non-test sources using
+// only the standard library: imports — including this module's internal
+// packages — are type-checked from source, so the loader needs no
+// pre-built export data and adds no module dependencies. Test files are
+// deliberately out of scope: the invariants flexvet enforces are about
+// what ships, and tests measure wall clocks by design.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	fset := token.NewFileSet()
+	// One shared source importer: each dependency (stdlib or internal) is
+	// type-checked once and memoized across the whole load.
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, err := Check(fset, imp, lp.ImportPath, files)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Check type-checks parsed files into a Package ready for the analyzers.
+// The fixture harness uses it directly; Load wraps it for real packages.
+func Check(fset *token.FileSet, imp types.Importer, importPath string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

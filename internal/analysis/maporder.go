@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maporder flags ranging over a map inside an output-writing function
+// unless the iteration provably cannot leak map order into the output.
+//
+// Go randomizes map iteration, so any map range whose body's effect is
+// order-sensitive makes output nondeterministic — the exact bug class the
+// byte-identity CI gates exist to catch, one step earlier. A function is
+// output-writing when it prints (fmt.Print*/Fprint*/Sprint*) or calls a
+// Write*/Encode/Render method anywhere in its body. A map range inside
+// one is allowed only when every statement in the loop body is
+// order-insensitive:
+//
+//   - key/value collection, x = append(x, ...), where x is passed to a
+//     sort.*/slices.Sort* call later in the same function;
+//   - writes into another map, m[k] = v;
+//   - integer accumulation (x += v, x++, counters — floating-point
+//     accumulation is order-sensitive and stays flagged);
+//
+// or when the range carries //flexvet:sorted <reason>. The framework
+// reports //flexvet:sorted comments that are not attached to a map range.
+var Maporder = &Analyzer{
+	Name:         "maporder",
+	Doc:          "flag map iteration that can leak nondeterministic order into output",
+	JustifyToken: "sorted",
+	Run:          runMaporder,
+}
+
+func runMaporder(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !writesOutput(pass.Pkg.Info, fd.Body) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if _, isMap := pass.Pkg.Info.TypeOf(rs.X).Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if pass.Justified(rs) {
+					return true
+				}
+				if orderInsensitiveBody(pass, fd, rs) {
+					return true
+				}
+				pass.Reportf(rs.Pos(),
+					"map iteration order can reach output: sort the keys first or justify with //flexvet:sorted <reason>")
+				return true
+			})
+		}
+	}
+}
+
+// writesOutput reports whether body contains a printing or serializing
+// call: fmt.Print*/Fprint*/Sprint*, or a method named Write, WriteString,
+// WriteByte, WriteRune, Encode, or Render.
+func writesOutput(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPkgCall(info, call, "fmt",
+			"Print", "Printf", "Println",
+			"Fprint", "Fprintf", "Fprintln",
+			"Sprint", "Sprintf", "Sprintln") {
+			found = true
+			return false
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Write", "WriteString", "WriteByte", "WriteRune", "Encode", "Render":
+				// A selector call, not a package-qualified function: a
+				// method on a writer/encoder/table value.
+				if _, isPkg := info.Uses[firstIdent(sel.X)].(*types.PkgName); !isPkg {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// firstIdent unwraps expr to its leading identifier (nil when the base is
+// not an identifier).
+func firstIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.CallExpr:
+			expr = e.Fun
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// orderInsensitiveBody reports whether every statement in the map range's
+// body is one of the allowed order-insensitive forms.
+func orderInsensitiveBody(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	info := pass.Pkg.Info
+	for _, stmt := range rs.Body.List {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			if !isIntegerExpr(info, s.X) {
+				return false
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			switch s.Tok {
+			case token.ASSIGN, token.DEFINE:
+				if idx, ok := s.Lhs[0].(*ast.IndexExpr); ok {
+					// m[k] = v into another map: insertion order is
+					// invisible to map semantics.
+					if _, isMap := info.TypeOf(idx.X).Underlying().(*types.Map); isMap {
+						continue
+					}
+					return false
+				}
+				// x = append(x, ...) key collection: only safe when x is
+				// sorted before use, later in this function.
+				lhs, ok := s.Lhs[0].(*ast.Ident)
+				if !ok || !isSelfAppend(lhs, s.Rhs[0]) {
+					return false
+				}
+				if !sortedLater(info, fd, rs, lhs) {
+					return false
+				}
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+				if !isIntegerExpr(info, s.Lhs[0]) {
+					return false
+				}
+			default:
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isSelfAppend matches rhs == append(lhs, ...).
+func isSelfAppend(lhs *ast.Ident, rhs ast.Expr) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	return ok && arg.Name == lhs.Name
+}
+
+// isIntegerExpr reports whether expr has an integer type (counters sum the
+// same in any order; floats do not).
+func isIntegerExpr(info *types.Info, expr ast.Expr) bool {
+	t := info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// sortedLater reports whether slice is passed to a sort call — sort.* or
+// slices.Sort* — after the range statement, in the same function.
+func sortedLater(info *types.Info, fd *ast.FuncDecl, rs *ast.RangeStmt, slice *ast.Ident) bool {
+	obj := info.Uses[slice]
+	if obj == nil {
+		obj = info.Defs[slice]
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "sort":
+		case "slices":
+			if len(sel.Sel.Name) < 4 || sel.Sel.Name[:4] != "Sort" {
+				return true
+			}
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			argObj := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && obj != nil && info.Uses[id] == obj {
+					argObj = true
+				}
+				return !argObj
+			})
+			if argObj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,34 @@
+package analysis
+
+// The repo-wide gate: flexvet over the whole module must report zero
+// diagnostics. Every intentional exception in the tree is annotated with
+// a //flexvet: justification, so the moment a violation (or a stale
+// justification) lands, this test — and CI — fails with the exact
+// file:line and message.
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRepoClean(t *testing.T) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Skip("not in a module")
+	}
+	pkgs, err := Load(filepath.Dir(gomod), "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, d := range RunAnalyzers(All(), pkg) {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Streamdiscipline enforces the commands' stdout/stderr split: stdout is
+// for the deterministic result (the tables, the report, the findings),
+// stderr for everything about the run — timing, progress, cache and
+// device stats. The byte-identity CI gates compare stdout across
+// {workers}×{fpgas}×{scheduler} grids, so one stray wall-clock line on
+// stdout breaks the repository's core determinism contract.
+//
+// In cmd/* packages, two forms are policed:
+//
+//   - os.Stdout may only appear as an argument to a call of a method
+//     named Render — the designated result path the report tables use —
+//     or at a site justified with //flexvet:stdout <reason>;
+//   - fmt.Print/Printf/Println (implicit stdout) always need the
+//     justification, typically on the designated result-printing
+//     function's declaration.
+//
+// Library packages are exempt: they write to injected io.Writers, and the
+// command wiring decides which stream those are.
+var Streamdiscipline = &Analyzer{
+	Name:         "streamdiscipline",
+	Doc:          "flag stdout writes outside designated result paths in cmd/*",
+	JustifyToken: "stdout",
+	Run:          runStreamdiscipline,
+}
+
+func runStreamdiscipline(pass *Pass) {
+	if !inCmd(pass.Pkg) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		renderArgs := map[ast.Expr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Render" {
+				for _, arg := range call.Args {
+					renderArgs[arg] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if isPkgCall(pass.Pkg.Info, call, "fmt", "Print", "Printf", "Println") {
+					if !pass.Justified(call) {
+						sel := call.Fun.(*ast.SelectorExpr)
+						pass.Reportf(call.Pos(),
+							"fmt.%s writes to stdout: results only — use fmt.Fprint*(os.Stderr, ...) for run commentary, or justify the result path with //flexvet:stdout <reason>",
+							sel.Sel.Name)
+					}
+					return true
+				}
+			}
+			if isPkgSelector(pass.Pkg.Info, nodeExpr(n), "os", "Stdout") {
+				if renderArgs[nodeExpr(n)] || pass.Justified(n) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"os.Stdout outside a designated result path: timing/progress/stats lines belong on stderr (//flexvet:stdout <reason> to justify)")
+			}
+			return true
+		})
+	}
+}
+
+// nodeExpr returns n as an expression (nil otherwise).
+func nodeExpr(n ast.Node) ast.Expr {
+	e, _ := n.(ast.Expr)
+	return e
+}

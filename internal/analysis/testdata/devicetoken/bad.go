@@ -1,0 +1,38 @@
+package fixture
+
+import (
+	"context"
+	"errors"
+)
+
+// Discard throws the release func away: the token can never come back.
+func Discard(ctx context.Context) error {
+	_, err := AcquireDevice(ctx) // want "AcquireDevice release func is discarded"
+	return err
+}
+
+// LeakOnEarlyReturn releases on the happy path but not on the early
+// return.
+func LeakOnEarlyReturn(ctx context.Context, cond bool) error {
+	release, err := AcquireDevice(ctx) // want "device token from AcquireDevice may leak"
+	if err != nil {
+		return err
+	}
+	if cond {
+		return errors.New("early exit holding the board")
+	}
+	release()
+	return nil
+}
+
+// LeakOnFallThrough releases only in one branch and falls through in the
+// other.
+func LeakOnFallThrough(ctx context.Context, ok bool) {
+	release, err := AcquireDevice(ctx) // want "device token from AcquireDevice may leak"
+	if err != nil {
+		return
+	}
+	if ok {
+		release()
+	}
+}

@@ -1,0 +1,63 @@
+package fixture
+
+import "context"
+
+// DeferRelease is the canonical shape: error-guarded return, then defer.
+func DeferRelease(ctx context.Context) error {
+	release, err := AcquireDevice(ctx)
+	if err != nil {
+		return err
+	}
+	defer release()
+	return work()
+}
+
+// ReleaseEveryPath releases explicitly before each return.
+func ReleaseEveryPath(ctx context.Context, cond bool) error {
+	release, err := AcquireDevice(ctx)
+	if err != nil {
+		return err
+	}
+	if cond {
+		release()
+		return nil
+	}
+	release()
+	return work()
+}
+
+// HandOff returns the release func: ownership moves to the caller.
+func HandOff(ctx context.Context) (func(), error) {
+	release, err := AcquireDevice(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return release, nil
+}
+
+// Registered escapes the release func into a cleanup list the caller
+// owns.
+func Registered(ctx context.Context, cleanup *[]func()) error {
+	release, err := AcquireDevice(ctx)
+	if err != nil {
+		return err
+	}
+	*cleanup = append(*cleanup, release)
+	return work()
+}
+
+// Justified documents a token intentionally left held: a deadline reaper
+// outside this function releases abandoned boards, which the structural
+// walker cannot see.
+func Justified(ctx context.Context, cond bool) error {
+	//flexvet:release the deadline reaper releases abandoned tokens
+	release, err := AcquireDevice(ctx)
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil
+	}
+	release()
+	return nil
+}

@@ -1,0 +1,15 @@
+// Package fixture exercises the devicetoken analyzer against a local
+// stand-in for batch.AcquireDevice (the analyzer matches the callee name,
+// so the fixture needs no internal imports).
+package fixture
+
+import "context"
+
+// AcquireDevice mimics batch.AcquireDevice's shape.
+func AcquireDevice(ctx context.Context) (func(), error) {
+	_ = ctx
+	return func() {}, nil
+}
+
+// work stands in for an engine run while a board is held.
+func work() error { return nil }

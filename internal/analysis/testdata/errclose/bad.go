@@ -1,0 +1,25 @@
+// Package fixture exercises the errclose analyzer (loaded under a cmd/
+// import path by the harness): Close/Flush errors dropped on main paths.
+package fixture
+
+import (
+	"bufio"
+	"os"
+)
+
+// WriteOut drops the close error after writing.
+func WriteOut(f *os.File) {
+	f.Write([]byte("data"))
+	f.Close() // want "f\.Close\(\) error is dropped"
+}
+
+// DeferFlush defers a bufio flush: the error is unobservable.
+func DeferFlush(w *bufio.Writer) {
+	defer w.Flush() // want "deferred w\.Flush\(\) discards its error"
+	w.WriteString("data")
+}
+
+// ExplicitDiscard hides the error behind the blank identifier.
+func ExplicitDiscard(f *os.File) {
+	_ = f.Close() // want "_ = f\.Close\(\) hides write failures"
+}

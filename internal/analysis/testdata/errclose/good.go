@@ -1,0 +1,29 @@
+package fixture
+
+import "os"
+
+// CheckedClose joins the close error with the write error.
+func CheckedClose(f *os.File, err error) error {
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// noErrFlusher mimics http.Flusher: Flush returns nothing, so there is
+// no error to drop.
+type noErrFlusher struct{}
+
+// Flush flushes without an error result.
+func (noErrFlusher) Flush() {}
+
+// FlushNoError is legal because the signature has no error.
+func FlushNoError(f noErrFlusher) {
+	f.Flush()
+}
+
+// JustifiedClose documents a read-side close where the error is
+// immaterial.
+func JustifiedClose(f *os.File) {
+	f.Close() //flexvet:close read-side close, decode errors surface elsewhere
+}

@@ -1,0 +1,41 @@
+// Package fixture exercises the maporder analyzer: map iteration whose
+// order can leak into output.
+package fixture
+
+import (
+	"fmt"
+	"os"
+)
+
+// PrintMap streams map entries straight to output in iteration order.
+func PrintMap(m map[string]int) {
+	for k, v := range m { // want "map iteration order can reach output"
+		fmt.Fprintf(os.Stderr, "%s=%d\n", k, v)
+	}
+}
+
+// SumFloats accumulates floats while printing: float addition is not
+// associative, so the printed total depends on iteration order.
+func SumFloats(m map[string]float64) {
+	var total float64
+	for _, v := range m { // want "map iteration order can reach output"
+		total += v
+	}
+	fmt.Println(total)
+}
+
+// CollectNoSort collects keys but never sorts them before printing.
+func CollectNoSort(m map[string]int) {
+	var keys []string
+	for k := range m { // want "map iteration order can reach output"
+		keys = append(keys, k)
+	}
+	fmt.Println(keys)
+}
+
+// Stale carries a sorted justification that is not attached to any map
+// range.
+func Stale(m map[string]int) {
+	//flexvet:sorted nothing here ranges a map // want "unused //flexvet:sorted justification"
+	fmt.Println(len(m))
+}

@@ -1,0 +1,54 @@
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SortedKeys is the canonical collect-sort-iterate idiom: the map range
+// only collects keys, and the slice is sorted before use.
+func SortedKeys(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// CountValues only accumulates integers: the sum is the same in any
+// iteration order.
+func CountValues(m map[string]int) {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	fmt.Println(total)
+}
+
+// Invert writes into another map: insertion order is invisible.
+func Invert(m map[string]int) {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	fmt.Println(len(inv))
+}
+
+// Justified carries a reviewed exception on the range line.
+func Justified(m map[string]int) {
+	for k := range m { //flexvet:sorted the sink dedupes and sorts downstream
+		fmt.Println(k)
+	}
+}
+
+// NoOutput ranges freely: the function writes nothing anywhere.
+func NoOutput(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,30 @@
+// Package fixture exercises the streamdiscipline analyzer (loaded under a
+// cmd/ import path by the harness): stdout writes outside a designated
+// result path.
+package fixture
+
+import (
+	"fmt"
+	"os"
+)
+
+// Progress prints run commentary to implicit stdout.
+func Progress(done, total int) {
+	fmt.Printf("progress %d/%d\n", done, total) // want "fmt.Printf writes to stdout"
+}
+
+// Timing writes wall clock to os.Stdout directly.
+func Timing(wall string) {
+	fmt.Fprintf(os.Stdout, "wall %s\n", wall) // want "os.Stdout outside a designated result path"
+}
+
+// Banner prints a banner with no justification.
+func Banner() {
+	fmt.Println("starting up") // want "fmt.Println writes to stdout"
+}
+
+// Quiet carries a stale stdout justification.
+func Quiet() int {
+	//flexvet:stdout stale, nothing below writes to stdout // want "unused //flexvet:stdout justification"
+	return 0
+}

@@ -1,0 +1,36 @@
+package fixture
+
+import (
+	"fmt"
+	"os"
+)
+
+// table mimics a report table with a Render result path.
+type table struct{}
+
+// Render writes the deterministic table to w.
+func (table) Render(w *os.File) { fmt.Fprintln(w, "row") }
+
+// Result renders to stdout through the designated Render path.
+func Result() {
+	table{}.Render(os.Stdout)
+}
+
+// Commentary goes to stderr: always legal.
+func Commentary(wall string) {
+	fmt.Fprintln(os.Stderr, "wall", wall)
+}
+
+// PrintResult is a designated result printer: the function-scope
+// justification covers every stdout write in it.
+//
+//flexvet:stdout this function is the command's result block
+func PrintResult(line string) {
+	fmt.Println(line)
+	fmt.Fprintln(os.Stdout, line)
+}
+
+// InlineJustified justifies a single result line in place.
+func InlineJustified(verdict string) {
+	fmt.Printf("verdict: %s\n", verdict) //flexvet:stdout the verdict is the result
+}

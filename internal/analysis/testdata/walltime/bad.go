@@ -1,0 +1,22 @@
+// Package fixture exercises the walltime analyzer: wall-clock reads
+// without a justification, plus a stale justification.
+package fixture
+
+import "time"
+
+// Elapsed measures wall time with no justification anywhere.
+func Elapsed() time.Duration {
+	start := time.Now()      // want "time.Now reads the wall clock"
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// Remaining reads the clock through time.Until.
+func Remaining(d time.Time) time.Duration {
+	return time.Until(d) // want "time.Until reads the wall clock"
+}
+
+// Stale carries a justification with nothing to justify.
+func Stale() int {
+	//flexvet:walltime stale reason, nothing below reads the clock // want "unused //flexvet:walltime justification"
+	return 0
+}

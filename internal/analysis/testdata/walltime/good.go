@@ -1,0 +1,32 @@
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// ReportWall is allowed: the function-scope justification on this
+// declaration covers both clock reads below.
+//
+//flexvet:walltime progress line on stderr only, never stdout
+func ReportWall() {
+	start := time.Now()
+	fmt.Fprintln(os.Stderr, "wall", time.Since(start))
+}
+
+// InlineJustified carries the justification on the flagged line.
+func InlineJustified() time.Time {
+	return time.Now() //flexvet:walltime deadline arithmetic for the scheduler
+}
+
+// AboveJustified carries the justification on the line above.
+func AboveJustified() time.Time {
+	//flexvet:walltime deadline arithmetic for the scheduler
+	return time.Now()
+}
+
+// ClockFree never touches the clock and needs nothing.
+func ClockFree(d time.Duration) time.Duration {
+	return 2 * d
+}

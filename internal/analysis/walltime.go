@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Walltime forbids reading the wall clock — time.Now, time.Since,
+// time.Until — outside the explicit allowlist of wall-reporting sites.
+//
+// The repository's determinism contract is that everything a run emits on
+// stdout, serializes into a layout, models as seconds, or records into a
+// BENCH_*.json file is a pure function of the inputs; wall clock may only
+// feed stderr progress/scheduling lines and the pool's wall measurements.
+// Each sanctioned site carries //flexvet:walltime <reason>, which doubles
+// as the human-readable registry of where wall time is allowed to exist.
+var Walltime = &Analyzer{
+	Name:         "walltime",
+	Doc:          "flag time.Now/Since/Until outside justified wall-reporting sites",
+	JustifyToken: "walltime",
+	Run:          runWalltime,
+}
+
+func runWalltime(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isPkgCall(pass.Pkg.Info, call, "time", "Now", "Since", "Until") {
+				return true
+			}
+			if pass.Justified(call) {
+				return true
+			}
+			sel := call.Fun.(*ast.SelectorExpr)
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock: route it to stderr reporting only and justify with //flexvet:walltime <reason>",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -198,6 +198,8 @@ func classFrom(ctx context.Context) sched.Class {
 // board stays busy for the device's modeled reconfiguration delay before
 // this call returns. A job must release before re-acquiring — recursive
 // holds self-deadlock at capacity 1.
+//
+//flexvet:walltime wait/hold/reconfig measurement is the device model's telemetry: stderr lines and stats sinks only
 func AcquireDevice(ctx context.Context) (release func(), err error) {
 	d := DeviceFrom(ctx)
 	if d == nil {

@@ -334,6 +334,7 @@ func streamOn[T any](ctx context.Context, p *Pool, jobs []Job[T], classes []sche
 				switch {
 				case bctx.Err() != nil:
 					r.Err = ErrSkipped
+				//flexvet:walltime deadlines are wall-clock by contract; expiry moves only errors, never output
 				case class.Expired(time.Now()):
 					// The deadline passed while the job queued: fail fast
 					// without running the engine.
@@ -348,11 +349,12 @@ func streamOn[T any](ctx context.Context, p *Pool, jobs []Job[T], classes []sche
 						usage = &deviceUsage{}
 						jctx = context.WithValue(jctx, usageKey{}, usage)
 					}
-					start := time.Now()
+					start := time.Now() //flexvet:walltime per-job wall for Result.Wall, reported on stderr only
 					v, err := jobs[i](jctx)
 					if err != nil && failFast {
 						cancel()
 					}
+					//flexvet:walltime Result.Wall is stderr/stats telemetry, excluded from BENCH files
 					r.Value, r.Err, r.Wall = v, err, time.Since(start)
 					if err != nil && bctx.Err() != nil &&
 						(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
@@ -415,7 +417,7 @@ func RunOn[T any](ctx context.Context, p *Pool, jobs []Job[T], failFast bool, on
 // RunClassedOn is RunOn with one sched.Class per job — the blocking form of
 // StreamClassedOn, with its scheduling, quota, and deadline semantics.
 func RunClassedOn[T any](ctx context.Context, p *Pool, jobs []Job[T], classes []sched.Class, failFast bool, onResult func(Result[T])) ([]Result[T], Stats, error) {
-	start := time.Now()
+	start := time.Now() //flexvet:walltime batch wall for Stats.Wall, reported on stderr only
 	ch, err := streamOn(ctx, p, jobs, classes, failFast, nil)
 	if err != nil {
 		return nil, Stats{}, err
@@ -427,6 +429,7 @@ func RunClassedOn[T any](ctx context.Context, p *Pool, jobs []Job[T], classes []
 			onResult(r)
 		}
 	}
+	//flexvet:walltime Stats.Wall is stderr/stats telemetry, excluded from BENCH files
 	st := Stats{Jobs: len(jobs), Workers: effectiveWorkers(p.workers, len(jobs)), Wall: time.Since(start)}
 	var firstErr, firstCancel error
 	for i := range results {
