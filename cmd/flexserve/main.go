@@ -10,6 +10,21 @@
 //	          [-max-scale 0.2] [-max-shards 64] [-auto-shard-mb 0]
 //	          [-sched priority|fifo] [-client-quota 0] [-client-queue-depth 0]
 //	          [-reconfig-ms 0]
+//	          [-mode single|coordinator|worker] [-peers URL,URL,...]
+//	          [-fleet-timeout-ms 120000] [-fleet-inflight 16] [-fleet-retries 0]
+//
+// Fleet roles (-mode, default "single"):
+//
+//   - coordinator: every job — and every band of a sharded job — executes
+//     remotely on one of the -peers worker base URLs, routed by consistent
+//     hashing on the job's cache key so repeat traffic lands on warm
+//     workers. Admission, scheduling, caching, sharding and stitching stay
+//     local: the API and the result bytes are identical to -mode single.
+//     Failed or draining workers are retried elsewhere with the failure
+//     excluded; /v1/stats gains a "fleet" block (per-node liveness and
+//     traffic, routed/retried/excluded totals, cumulative remote RTT).
+//   - worker: additionally serves the fleet job protocol (POST /w/v1/job,
+//     GET /w/v1/health) next to the normal API, for coordinators to call.
 //
 // API:
 //
@@ -43,10 +58,14 @@
 //	    (other tenants keep submitting) whose Retry-After reflects that
 //	    tenant's backlog.
 //	GET /v1/stats    — cumulative service statistics (jobs, cache hit
-//	                   rate, device contention) as JSON.
-//	GET /healthz     — liveness probe.
+//	                   rate, device contention, fleet routing) as JSON.
+//	GET /healthz     — liveness probe: 200 {"status":"ok"} while serving,
+//	                   503 {"status":"draining"} once shutdown begins.
 //
-// The server drains in-flight batches on SIGINT/SIGTERM before exiting.
+// The server drains in-flight batches on SIGINT/SIGTERM before exiting:
+// /healthz flips to 503 first (and a worker's fleet surface starts
+// answering 503 "draining", which coordinators retry elsewhere), then the
+// listener shuts down, then the service closes.
 package main
 
 import (
@@ -57,6 +76,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -77,6 +97,11 @@ func main() {
 	clientQuota := flag.Int("client-quota", 0, "max concurrently running jobs per client (0 = unlimited)")
 	clientQueueDepth := flag.Int("client-queue-depth", 0, "per-client admission bound on queued+running jobs; exceeding it returns a per-client 429 (0 = unbounded)")
 	reconfigMS := flag.Int("reconfig-ms", 0, "modeled FPGA reconfiguration delay in ms when consecutive board holders differ (0 = counted, free)")
+	mode := flag.String("mode", "single", "fleet role: single, coordinator (execute jobs on -peers workers), or worker (serve fleet jobs at /w/v1/*)")
+	peers := flag.String("peers", "", "comma-separated worker base URLs, e.g. http://10.0.0.2:8080,http://10.0.0.3:8080 (coordinator mode)")
+	fleetTimeoutMS := flag.Int("fleet-timeout-ms", 120000, "one remote job attempt's end-to-end timeout in ms (coordinator mode)")
+	fleetInflight := flag.Int("fleet-inflight", 16, "concurrently outstanding remote jobs per worker (coordinator mode)")
+	fleetRetries := flag.Int("fleet-retries", 0, "extra attempts after a retryable remote failure, each excluding the failed nodes (0 = every other worker once)")
 	flag.Parse()
 
 	scheduler, err := flex.ParseScheduler(*schedName)
@@ -84,20 +109,53 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	svc := flex.NewService(
+	opts := []flex.ServiceOption{
 		flex.WithWorkers(*workers),
 		flex.WithFPGAs(*fpgas),
-		flex.WithCacheBytes(int64(*cacheMB)<<20),
+		flex.WithCacheBytes(int64(*cacheMB) << 20),
 		flex.WithQueueDepth(*queueDepth),
-		flex.WithAutoShardBytes(int64(*autoShardMB)<<20),
+		flex.WithAutoShardBytes(int64(*autoShardMB) << 20),
 		flex.WithScheduler(scheduler),
 		flex.WithClientQuota(*clientQuota),
 		flex.WithClientQueueDepth(*clientQueueDepth),
-		flex.WithReconfigCost(time.Duration(*reconfigMS)*time.Millisecond),
-	)
+		flex.WithReconfigCost(time.Duration(*reconfigMS) * time.Millisecond),
+	}
+	var workerURLs []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			workerURLs = append(workerURLs, p)
+		}
+	}
+	switch *mode {
+	case "single", "worker":
+		if len(workerURLs) > 0 {
+			fmt.Fprintln(os.Stderr, "flexserve: -peers requires -mode coordinator")
+			os.Exit(2)
+		}
+	case "coordinator":
+		if len(workerURLs) == 0 {
+			fmt.Fprintln(os.Stderr, "flexserve: -mode coordinator requires -peers")
+			os.Exit(2)
+		}
+		opts = append(opts,
+			flex.WithWorkersList(workerURLs...),
+			flex.WithFleetTimeout(time.Duration(*fleetTimeoutMS)*time.Millisecond),
+			flex.WithFleetInflight(*fleetInflight),
+			flex.WithFleetRetries(*fleetRetries),
+		)
+	default:
+		fmt.Fprintf(os.Stderr, "flexserve: unknown -mode %q (want single, coordinator, or worker)\n", *mode)
+		os.Exit(2)
+	}
+	svc := flex.NewService(opts...)
+	var fw *flex.FleetWorker
+	if *mode == "worker" {
+		fw = flex.NewFleetWorker(svc)
+	}
+	app := newServer(svc, fw, int64(*maxBodyMB)<<20, *maxScale, *maxShards)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(svc, int64(*maxBodyMB)<<20, *maxScale, *maxShards),
+		Handler:           app,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -105,9 +163,9 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "flexserve: listening on %s (workers=%d fpgas=%d cache=%dMiB queue=%d sched=%s client-quota=%d client-queue=%d reconfig=%dms)\n",
-		*addr, svc.Stats().Workers, *fpgas, *cacheMB, *queueDepth,
-		scheduler, *clientQuota, *clientQueueDepth, *reconfigMS)
+	fmt.Fprintf(os.Stderr, "flexserve: listening on %s (mode=%s workers=%d fpgas=%d cache=%dMiB queue=%d sched=%s client-quota=%d client-queue=%d reconfig=%dms peers=%d)\n",
+		*addr, *mode, svc.Stats().Workers, *fpgas, *cacheMB, *queueDepth,
+		scheduler, *clientQuota, *clientQueueDepth, *reconfigMS, len(workerURLs))
 
 	select {
 	case err := <-errc:
@@ -116,6 +174,10 @@ func main() {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "flexserve: shutting down")
+	// Flip /healthz (and a worker's fleet surface) to 503 before the
+	// listener closes, so probes see "draining" rather than a vanished
+	// endpoint while in-flight streams finish.
+	app.drain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

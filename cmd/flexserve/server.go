@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	flex "github.com/flex-eda/flex"
@@ -148,16 +149,44 @@ type statsResponse struct {
 	DeviceHoldMs    float64 `json:"deviceHoldMs"`
 	DeviceAcquires  int     `json:"deviceAcquires"`
 	DeviceContended int     `json:"deviceContended"`
+	// Fleet is the coordinator's routing snapshot: present only when the
+	// server was started with -mode coordinator.
+	Fleet *fleetStatsResponse `json:"fleet,omitempty"`
+}
+
+// fleetStatsResponse mirrors flex.FleetStats for /v1/stats consumers: one
+// row per configured worker plus fleet-wide routing totals.
+// remoteWallMs is cumulative band round-trip wall time — telemetry only,
+// never part of any modeled result.
+type fleetStatsResponse struct {
+	Nodes        []fleetNodeResponse `json:"nodes"`
+	Routed       int64               `json:"routed"`
+	Retried      int64               `json:"retried"`
+	Excluded     int64               `json:"excluded"`
+	RemoteWallMs float64             `json:"remoteWallMs"`
+}
+
+// fleetNodeResponse is one worker's liveness and traffic as the router
+// last saw it (state: alive, draining, or dead).
+type fleetNodeResponse struct {
+	Addr     string `json:"addr"`
+	State    string `json:"state"`
+	Routed   int64  `json:"routed"`
+	Failed   int64  `json:"failed"`
+	Inflight int    `json:"inflight"`
 }
 
 // server is the HTTP front end over one long-lived flex.Service.
 type server struct {
 	svc       *flex.Service
+	fleet     *flex.FleetWorker // non-nil only in -mode worker
 	maxBody   int64
 	maxScale  float64
 	maxShards int
 	workers   int             // the service's fixed pool size
 	knownSet  map[string]bool // valid design names, for up-front 400s
+	draining  atomic.Bool
+	mux       *http.ServeMux
 }
 
 // newServer routes the serving API over svc. maxBody bounds request bodies
@@ -166,8 +195,9 @@ type server struct {
 // paper-size generation monopolizing a worker. maxShards bounds a job's
 // requested band count (<= 0 = 64): each band occupies one queue slot, so
 // the bound keeps one request from amplifying itself past the admission
-// control.
-func newServer(svc *flex.Service, maxBody int64, maxScale float64, maxShards int) http.Handler {
+// control. A non-nil fw mounts the fleet worker protocol (/w/v1/*) next
+// to the normal API — the -mode worker surface.
+func newServer(svc *flex.Service, fw *flex.FleetWorker, maxBody int64, maxScale float64, maxShards int) *server {
 	if maxBody <= 0 {
 		maxBody = 64 << 20
 	}
@@ -178,18 +208,40 @@ func newServer(svc *flex.Service, maxBody int64, maxScale float64, maxShards int
 		maxShards = 64
 	}
 	s := &server{
-		svc: svc, maxBody: maxBody, maxScale: maxScale, maxShards: maxShards,
+		svc: svc, fleet: fw,
+		maxBody: maxBody, maxScale: maxScale, maxShards: maxShards,
 		workers:  svc.Stats().Workers,
 		knownSet: map[string]bool{},
 	}
 	for _, d := range flex.Designs() {
 		s.knownSet[d] = true
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/legalize", s.handleLegalize)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/legalize", s.handleLegalize)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if fw != nil {
+		// The fleet mux's own patterns carry the /w/v1 prefix, so no
+		// StripPrefix: this mount only scopes the subtree.
+		s.mux.Handle("/w/v1/", fw.Handler())
+	}
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// drain marks the process as shutting down before the listener stops
+// accepting: /healthz flips to 503 so load balancers and fleet
+// coordinators stop steering new traffic here while in-flight streams
+// finish, and a worker's fleet surface starts bouncing jobs with the
+// draining code coordinators retry elsewhere.
+func (s *server) drain() {
+	s.draining.Store(true)
+	if s.fleet != nil {
+		s.fleet.Drain()
+	}
 }
 
 func writeJSONError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -528,7 +580,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for p, n := range st.QueuedByPriority {
 		byPriority[strconv.Itoa(p)] = n
 	}
-	json.NewEncoder(w).Encode(statsResponse{
+	resp := statsResponse{
 		Batches: st.Batches, Jobs: st.Jobs, Errors: st.Errors,
 		Skipped: st.Skipped, Overloaded: st.Overloaded,
 		ShardedJobs: st.ShardedJobs,
@@ -551,11 +603,35 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheBytes: st.CacheBytes, CacheMaxBytes: st.CacheMaxBytes,
 		DeviceWaitMs: ms(st.DeviceWait), DeviceHoldMs: ms(st.DeviceHold),
 		DeviceAcquires: st.DeviceAcquires, DeviceContended: st.DeviceContended,
-	})
+	}
+	if st.Fleet != nil {
+		f := &fleetStatsResponse{
+			Routed: st.Fleet.Routed, Retried: st.Fleet.Retried,
+			Excluded:     st.Fleet.Excluded,
+			RemoteWallMs: ms(st.Fleet.RemoteWall),
+		}
+		for _, n := range st.Fleet.Nodes {
+			f.Nodes = append(f.Nodes, fleetNodeResponse{
+				Addr: n.Addr, State: n.State,
+				Routed: n.Routed, Failed: n.Failed, Inflight: n.Inflight,
+			})
+		}
+		resp.Fleet = f
+	}
+	json.NewEncoder(w).Encode(resp)
 }
 
+// handleHealthz is the liveness probe. It answers 503 the moment drain()
+// runs — before the listener closes — so orchestrators and coordinators
+// see "draining" while in-flight work finishes instead of a 200 that
+// flips straight to connection-refused.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 

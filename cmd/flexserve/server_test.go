@@ -19,7 +19,7 @@ func newTestServer(t *testing.T, opts ...flex.ServiceOption) *httptest.Server {
 		opts = []flex.ServiceOption{flex.WithWorkers(2), flex.WithCacheBytes(32 << 20)}
 	}
 	svc := flex.NewService(opts...)
-	ts := httptest.NewServer(newServer(svc, 8<<20, 0.05, 8))
+	ts := httptest.NewServer(newServer(svc, nil, 8<<20, 0.05, 8))
 	t.Cleanup(func() {
 		ts.Close()
 		svc.Close()
@@ -374,7 +374,7 @@ func TestLegalizeOverloadReturns429(t *testing.T) {
 
 func TestLegalizeOversizedBodyReturns413(t *testing.T) {
 	svc := flex.NewService(flex.WithWorkers(1))
-	ts := httptest.NewServer(newServer(svc, 1024, 0.05, 8)) // 1 KiB body limit
+	ts := httptest.NewServer(newServer(svc, nil, 1024, 0.05, 8)) // 1 KiB body limit
 	t.Cleanup(func() {
 		ts.Close()
 		svc.Close()
@@ -394,6 +394,164 @@ func TestLegalizeOversizedBodyReturns413(t *testing.T) {
 	}
 	if !strings.Contains(eb.Error, "limit") {
 		t.Fatalf("error %q does not name the size limit", eb.Error)
+	}
+}
+
+// TestHealthzDrainingReturns503: drain() must flip the liveness probe to
+// 503 "draining" while the listener is still up — a probe during graceful
+// shutdown sees draining, not a 200 that turns into connection-refused.
+func TestHealthzDrainingReturns503(t *testing.T) {
+	svc := flex.NewService(flex.WithWorkers(1))
+	app := newServer(svc, nil, 8<<20, 0.05, 8)
+	ts := httptest.NewServer(app)
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	app.drain()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "draining" {
+		t.Fatalf("body %v, want status draining", body)
+	}
+}
+
+// TestWorkerModeServesFleetProtocol: a worker-mode server mounts the fleet
+// surface next to the normal API, and drain() propagates onto it so a
+// coordinator's health probe sees 503.
+func TestWorkerModeServesFleetProtocol(t *testing.T) {
+	svc := flex.NewService(flex.WithWorkers(1), flex.WithCacheBytes(32<<20))
+	fw := flex.NewFleetWorker(svc)
+	app := newServer(svc, fw, 8<<20, 0.05, 8)
+	ts := httptest.NewServer(app)
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+
+	// The fleet health endpoint and the normal API both answer.
+	resp, err := http.Get(ts.URL + "/w/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/w/v1/health status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+
+	// A fleet job executes through the service's normal path.
+	job := `{"design":"fft_a_md2","scale":0.008,"engine":"flex"}`
+	resp, err = http.Post(ts.URL+"/w/v1/job", "application/json", strings.NewReader(job))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Layout string `json:"layout"`
+		Legal  bool   `json:"legal"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !res.Legal || res.Layout == "" {
+		t.Fatalf("fleet job: status %d result %+v", resp.StatusCode, res)
+	}
+
+	// drain() reaches the fleet surface too.
+	app.drain()
+	for _, path := range []string{"/healthz", "/w/v1/health"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s after drain: status %d, want 503", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestStatsFleetBlock: a coordinator's /v1/stats carries the fleet block —
+// per-node liveness and the routing totals — after jobs executed remotely;
+// a single-process server omits it.
+func TestStatsFleetBlock(t *testing.T) {
+	wsvc := flex.NewService(flex.WithWorkers(2), flex.WithCacheBytes(32<<20))
+	worker := httptest.NewServer(newServer(wsvc, flex.NewFleetWorker(wsvc), 8<<20, 0.05, 8))
+	t.Cleanup(func() {
+		worker.Close()
+		wsvc.Close()
+	})
+
+	ts := newTestServer(t, flex.WithWorkers(2), flex.WithCacheBytes(32<<20),
+		flex.WithWorkersList(worker.URL))
+	req := `{"jobs":[{"design":"fft_a_md2","scale":0.008,"engine":"flex","shards":2}]}`
+	resp, err := http.Post(ts.URL+"/v1/legalize", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	results, sum := decodeNDJSON(t, bufio.NewScanner(resp.Body))
+	if len(results) != 1 || sum.Errors != 0 || results[0].Legal == nil || !*results[0].Legal {
+		t.Fatalf("results %+v summary %+v", results, sum)
+	}
+
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Fleet == nil {
+		t.Fatal("coordinator stats missing fleet block")
+	}
+	if st.Fleet.Routed < 2 { // both bands went remote
+		t.Fatalf("fleet.routed = %d, want >= 2", st.Fleet.Routed)
+	}
+	if st.Fleet.RemoteWallMs <= 0 {
+		t.Fatalf("fleet.remoteWallMs = %g, want > 0", st.Fleet.RemoteWallMs)
+	}
+	if len(st.Fleet.Nodes) != 1 || st.Fleet.Nodes[0].Addr != worker.URL ||
+		st.Fleet.Nodes[0].State != "alive" || st.Fleet.Nodes[0].Routed < 2 {
+		t.Fatalf("fleet nodes %+v", st.Fleet.Nodes)
+	}
+
+	// A single-process server's stats omit the block entirely.
+	single := newTestServer(t)
+	sresp, err := http.Get(single.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var sst statsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&sst); err != nil {
+		t.Fatal(err)
+	}
+	if sst.Fleet != nil {
+		t.Fatalf("single-process stats carry a fleet block: %+v", sst.Fleet)
 	}
 }
 

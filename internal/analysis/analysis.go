@@ -305,3 +305,11 @@ func isPkgSelector(info *types.Info, expr ast.Expr, pkgPath, name string) bool {
 func inCmd(pkg *Package) bool {
 	return strings.Contains(pkg.ImportPath, "/cmd/") || strings.HasPrefix(pkg.ImportPath, "cmd/")
 }
+
+// inFleet matches the fleet transport package (internal/fleet): its HTTP
+// client and handlers close response bodies and request streams, the same
+// dropped-error class errclose polices on the cmd mains.
+func inFleet(pkg *Package) bool {
+	return strings.HasSuffix(pkg.ImportPath, "internal/fleet") ||
+		strings.Contains(pkg.ImportPath, "internal/fleet/")
+}

@@ -5,10 +5,11 @@ import (
 	"go/types"
 )
 
-// Errclose requires cmd/* main paths to check the error from Close() and
-// Flush() calls that return one — the flexlg -out bug class, where a
-// deferred or bare close silently dropped write-back errors and the tool
-// reported success over a truncated file.
+// Errclose requires cmd/* main paths — and the fleet transport, whose
+// HTTP clients and handlers juggle response bodies — to check the error
+// from Close() and Flush() calls that return one: the flexlg -out bug
+// class, where a deferred or bare close silently dropped write-back
+// errors and the tool reported success over a truncated file.
 //
 // Flagged forms (only when the method's signature returns an error):
 //
@@ -21,13 +22,13 @@ import (
 // inconsequential carry //flexvet:close <reason>.
 var Errclose = &Analyzer{
 	Name:         "errclose",
-	Doc:          "flag unchecked Close/Flush errors in cmd/*",
+	Doc:          "flag unchecked Close/Flush errors in cmd/* and internal/fleet",
 	JustifyToken: "close",
 	Run:          runErrclose,
 }
 
 func runErrclose(pass *Pass) {
-	if !inCmd(pass.Pkg) {
+	if !inCmd(pass.Pkg) && !inFleet(pass.Pkg) {
 		return
 	}
 	for _, f := range pass.Pkg.Files {

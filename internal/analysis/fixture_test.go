@@ -47,7 +47,9 @@ func F(f *os.File) {
 `
 
 // TestCmdScope checks that streamdiscipline and errclose fire under a
-// cmd/* import path and stay silent under a library import path.
+// cmd/* import path and stay silent under a library import path — except
+// internal/fleet, where errclose (and only errclose) also applies: the
+// fleet transport's response-body closes are the same dropped-error class.
 func TestCmdScope(t *testing.T) {
 	azs := []*Analyzer{Streamdiscipline, Errclose}
 	for _, tc := range []struct {
@@ -56,6 +58,7 @@ func TestCmdScope(t *testing.T) {
 	}{
 		{"example.com/cmd/scope", 2},
 		{"example.com/internal/scope", 0},
+		{"example.com/internal/fleet", 1},
 	} {
 		f, err := parser.ParseFile(fixtureFset, tc.importPath+"/p.go", scopeSrc, parser.ParseComments)
 		if err != nil {

@@ -160,6 +160,22 @@ type deviceUsage struct {
 	reconfigTime time.Duration
 }
 
+// AddRemoteDeviceUsage folds device telemetry a remote fleet worker
+// reported for the calling job into the job's usage record, so a
+// coordinator's per-batch device statistics include board time its fleet
+// spent on the job's behalf. The remote wait/hold never touch the local
+// Device pool — those boards are the worker's — and a context without a
+// usage record (the batch models no device) drops the telemetry.
+func AddRemoteDeviceUsage(ctx context.Context, wait, hold time.Duration, reconfigs int) {
+	usage, _ := ctx.Value(usageKey{}).(*deviceUsage)
+	if usage == nil {
+		return
+	}
+	usage.wait += wait
+	usage.hold += hold
+	usage.reconfigs += reconfigs
+}
+
 // WithDevice returns a context carrying the device pool; jobs claim their
 // accelerator phase from it via AcquireDevice. Stream attaches
 // Options.Device automatically.

@@ -1,0 +1,165 @@
+// Package fleet is the cross-host layer of the legalization service: a
+// lean HTTP job protocol between one coordinator and N worker nodes, plus
+// the coordinator-side router that spreads band jobs across the fleet.
+// It is the multi-process version of what flex.Service's in-process shard
+// expansion already does for row bands — SYNERGY-style, one logical
+// accelerator program served by many physical backends behind a
+// virtualization layer — with worker nodes treated as interchangeable band
+// executors (Soft Tiles' flexible tiling, at host granularity).
+//
+// The protocol has two endpoints on every worker:
+//
+//	POST /w/v1/job     one serialized band or whole-design job in, one
+//	                   JSON result (legalized flexpl layout + modeled
+//	                   seconds + device telemetry) streamed back
+//	GET  /w/v1/health  liveness: queue depth, device statistics, and the
+//	                   draining state (503 once draining has begun)
+//
+// The package is transport only: jobs carry layouts as opaque flexpl text
+// and engines as names, so fleet depends on neither the flex API nor the
+// placement model. The coordinator (flex.Service with WithWorkersList) and
+// the worker (flex.FleetWorker) supply the Executor that does real work.
+//
+// Determinism is preserved across the wire: a job's result is a pure
+// function of its serialized inputs, so routing — which worker ran a band,
+// how often it was retried — moves only wall-clock and statistics, never
+// bytes. Round-trip telemetry (band RTTs) is reported as wall time in
+// stats only, split from the modeled seconds that travel inside results,
+// per the BENCHMARKING.md rules.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Job is one unit of remote work: a serialized band (Layout as flexpl
+// text) or a whole-design reference (Design + Scale) the worker generates
+// itself — the latter keeps a warm worker's layout cache warm, which is
+// why the coordinator routes by cache key. The scheduling class
+// (Priority, DeadlineMs, Client) propagates end to end so a worker's
+// queue orders one coordinator's urgent bands ahead of another's bulk.
+type Job struct {
+	// Design and Scale reference a benchmark the worker generates (and
+	// memoizes) itself; mutually exclusive with Layout.
+	Design string  `json:"design,omitempty"`
+	Scale  float64 `json:"scale,omitempty"`
+	// Layout is an inline flexpl payload — a row band, or a whole
+	// explicit layout.
+	Layout string `json:"layout,omitempty"`
+	// Engine names the legalizer (flex.ParseEngine's vocabulary).
+	Engine string `json:"engine,omitempty"`
+	// Engine options, flattened (flex.Options).
+	Threads       int  `json:"threads,omitempty"`
+	SlidingWindow int  `json:"slidingWindow,omitempty"`
+	OnePE         bool `json:"onePE,omitempty"`
+	OffloadInsert bool `json:"offloadInsert,omitempty"`
+	// Priority, DeadlineMs and Client are the owner's scheduling class.
+	// DeadlineMs is the time remaining until the job's absolute deadline
+	// at send time — relative on the wire, so worker clocks need not
+	// agree with the coordinator's; the worker re-anchors it on arrival.
+	Priority   int    `json:"priority,omitempty"`
+	DeadlineMs int64  `json:"deadlineMs,omitempty"`
+	Client     string `json:"client,omitempty"`
+	// Key echoes the routing key the coordinator hashed — observability
+	// for worker logs, never semantics.
+	Key string `json:"key,omitempty"`
+}
+
+// Result is one finished remote job. Everything here except the *Ms
+// telemetry fields is a deterministic function of the Job.
+type Result struct {
+	// Layout is the legalized layout in flexpl text.
+	Layout string `json:"layout"`
+	// Legal is the engine's own verdict (it can fail a placement the
+	// violation check alone would pass).
+	Legal bool `json:"legal"`
+	// ModeledSeconds is the engine's deterministic modeled runtime.
+	ModeledSeconds float64 `json:"modeledSeconds"`
+	// SchedWaitMs is the time the job queued for a worker-side pool
+	// goroutine; DeviceWaitMs/DeviceHoldMs/DeviceReconfigs are the
+	// worker's modeled board telemetry for this job. All wall/stats
+	// only — the coordinator folds them into its device accounting.
+	SchedWaitMs     float64 `json:"schedWaitMs,omitempty"`
+	DeviceWaitMs    float64 `json:"deviceWaitMs,omitempty"`
+	DeviceHoldMs    float64 `json:"deviceHoldMs,omitempty"`
+	DeviceReconfigs int     `json:"deviceReconfigs,omitempty"`
+}
+
+// Health is the GET /w/v1/health body: the worker's load and draining
+// state, the signals the coordinator's prober routes around.
+type Health struct {
+	// Status is "ok" while serving, "draining" once shutdown has begun
+	// (the response is then a 503, so plain HTTP probes agree).
+	Status string `json:"status"`
+	// QueuedJobs is the worker pool's current occupancy (queued +
+	// running); Workers its goroutine count.
+	QueuedJobs int `json:"queuedJobs"`
+	Workers    int `json:"workers"`
+	// Device telemetry, cumulative: modeled board wait/hold and
+	// acquisition/reconfiguration counts.
+	DeviceWaitMs    float64 `json:"deviceWaitMs"`
+	DeviceHoldMs    float64 `json:"deviceHoldMs"`
+	DeviceAcquires  int     `json:"deviceAcquires"`
+	DeviceReconfigs int     `json:"deviceReconfigs"`
+}
+
+// Load is the Executor's live-load snapshot behind Health.
+type Load struct {
+	// QueuedJobs is current pool occupancy; Workers the pool size.
+	QueuedJobs, Workers int
+	// DeviceWait/DeviceHold and the counters mirror the pool's modeled
+	// board statistics.
+	DeviceWait, DeviceHold          time.Duration
+	DeviceAcquires, DeviceReconfigs int
+}
+
+// Executor runs jobs on behalf of a Worker — the seam between the wire
+// protocol and the legalization service (flex.FleetWorker implements it
+// over a flex.Service). Execute must honor ctx: the handler derives a
+// deadline from Job.DeadlineMs and cancels on client disconnect.
+type Executor interface {
+	// Execute runs one job to completion. Classify failures with the
+	// package sentinels (wrap with %w): ErrInvalidJob for malformed
+	// jobs, ErrOverloaded when admission sheds the job,
+	// sched.ErrDeadlineExceeded when the job's deadline expired.
+	Execute(ctx context.Context, job Job) (*Result, error)
+	// Load snapshots the worker's current occupancy for /w/v1/health.
+	Load() Load
+}
+
+// ErrInvalidJob marks a job the worker cannot parse or validate — a
+// client error (HTTP 400) the coordinator must not retry elsewhere.
+var ErrInvalidJob = errors.New("fleet: invalid job")
+
+// ErrOverloaded marks a job shed by the worker's admission control
+// (HTTP 429): retryable on another node.
+var ErrOverloaded = errors.New("fleet: worker overloaded")
+
+// ErrDraining marks a worker that has begun graceful shutdown
+// (HTTP 503): retryable on another node, and the prober will stop
+// routing to it.
+var ErrDraining = errors.New("fleet: worker draining")
+
+// ErrNoWorkers reports a job that ran out of fleet: every configured
+// worker was excluded (failed, draining, or dead) before an attempt
+// succeeded.
+var ErrNoWorkers = errors.New("fleet: no live worker")
+
+// Error codes carried in the wire error envelope (errorBody.Code), so a
+// typed failure survives the HTTP hop: the coordinator maps "deadline"
+// back to sched.ErrDeadlineExceeded rather than a generic transport error.
+const (
+	codeInvalid    = "invalid"
+	codeOverloaded = "overloaded"
+	codeDraining   = "draining"
+	codeDeadline   = "deadline"
+	codeFailed     = "failed"
+)
+
+// errorBody is the JSON error envelope of every non-200 protocol response.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}

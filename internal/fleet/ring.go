@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over worker addresses: each node owns
+// vnodesPerNode points on a 64-bit circle, and a key routes to the first
+// point clockwise of its hash. Band cache keys therefore map stably to
+// workers — adding or draining one node only moves the bands adjacent to
+// its points, so the rest of the fleet keeps its layout caches warm.
+type ring struct {
+	points []ringPoint // sorted by hash
+	nodes  []string
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// vnodesPerNode spreads each worker across the circle so small fleets
+// still balance: with 2–4 real nodes and one point each, a single arc
+// could own most of the key space.
+const vnodesPerNode = 64
+
+func newRing(nodes []string) *ring {
+	r := &ring{nodes: append([]string(nil), nodes...)}
+	for _, n := range r.nodes {
+		for v := 0; v < vnodesPerNode; v++ {
+			r.points = append(r.points, ringPoint{hash: hashPoint(n, v), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on the node name so the ring order is a pure
+		// function of the node set.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+func hashPoint(node string, vnode int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	h.Write([]byte{'#', byte(vnode), byte(vnode >> 8)})
+	return mix64(h.Sum64())
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is a 64-bit finalizer (MurmurHash3's) applied after FNV-1a:
+// plain FNV has weak avalanche in its low bits, so band keys that differ
+// only in a "#band=N" suffix — the common case here — land adjacent on
+// the circle and pile onto one node. The mixer diffuses single-character
+// differences across all 64 bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// pick returns the owner of key after skipping excluded nodes: the first
+// point clockwise of the key's hash whose node is acceptable. With every
+// node excluded it returns "". Walking the ring (rather than re-hashing)
+// keeps the fallback deterministic and minimal — a band displaced by one
+// dead worker always lands on the same survivor.
+func (r *ring) pick(key string, excluded map[string]bool) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	start := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= hashKey(key)
+	})
+	seen := make(map[string]bool, len(r.nodes))
+	for i := 0; i < len(r.points) && len(seen) < len(r.nodes); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		if !excluded[p.node] {
+			return p.node
+		}
+	}
+	return ""
+}

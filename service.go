@@ -10,6 +10,7 @@ import (
 
 	"github.com/flex-eda/flex/internal/batch"
 	"github.com/flex-eda/flex/internal/cache"
+	"github.com/flex-eda/flex/internal/fleet"
 	"github.com/flex-eda/flex/internal/gen"
 	"github.com/flex-eda/flex/internal/sched"
 )
@@ -102,6 +103,12 @@ type serviceConfig struct {
 	clientDepth    int
 	clientWeights  map[string]int
 	reconfigCost   time.Duration
+
+	// Fleet coordination (see WithWorkersList and friends in fleet.go).
+	fleetWorkers  []string
+	fleetTimeout  time.Duration
+	fleetInflight int
+	fleetRetries  int
 }
 
 // ServiceOption configures NewService.
@@ -245,6 +252,10 @@ type Service struct {
 	shardHalo      int
 	autoShardBytes int64
 
+	// router is non-nil on a fleet coordinator (WithWorkersList): pool
+	// jobs then execute remotely instead of running a local engine.
+	router *fleet.Router
+
 	mu               sync.Mutex
 	batches          int64
 	jobs             int64
@@ -284,6 +295,14 @@ func NewService(opts ...ServiceOption) *Service {
 	}
 	if cfg.cacheBytes > 0 {
 		s.layouts = cache.New(cfg.cacheBytes)
+	}
+	if len(cfg.fleetWorkers) > 0 {
+		s.router = fleet.NewRouter(fleet.RouterConfig{
+			Workers:  cfg.fleetWorkers,
+			Timeout:  cfg.fleetTimeout,
+			Inflight: cfg.fleetInflight,
+			Retries:  cfg.fleetRetries,
+		})
 	}
 	return s
 }
@@ -438,6 +457,11 @@ func (s *Service) account(jobs, sharded, errs, skipped int) {
 // with ErrServiceClosed.
 func (s *Service) Close() error {
 	s.pool.Close()
+	if s.router != nil {
+		// After the pool drains no job can issue a remote call, so the
+		// router (and its health prober) can stop.
+		s.router.Close()
+	}
 	return nil
 }
 
@@ -492,6 +516,10 @@ type ServiceStats struct {
 	// time and board occupancy, acquisitions, and how many had to wait.
 	DeviceWait, DeviceHold          time.Duration
 	DeviceAcquires, DeviceContended int
+	// Fleet is the coordinator's routing snapshot — per-worker liveness
+	// and traffic, retry/exclusion totals, cumulative band round-trip
+	// wall time. Nil on a single-process service.
+	Fleet *FleetStats
 }
 
 // CacheHitRate returns hits / (hits + misses), or 0 before any lookup.
@@ -534,6 +562,9 @@ func (s *Service) Stats() ServiceStats {
 		st.DeviceWait, st.DeviceHold = ds.Wait, ds.Hold
 		st.DeviceAcquires, st.DeviceContended = ds.Acquires, ds.Contended
 		st.Reconfigs, st.ReconfigTime = ds.Reconfigs, ds.ReconfigTime
+	}
+	if s.router != nil {
+		st.Fleet = fleetStats(s.router.Stats())
 	}
 	return st
 }

@@ -96,7 +96,7 @@ func (s *Service) expand(jobs []BatchJob) *expansion {
 		k := s.effectiveShards(job)
 		e.shards[j] = k
 		if k == 0 {
-			e.pool = append(e.pool, job.job(s.generate))
+			e.pool = append(e.pool, s.poolJob(job, class))
 			e.classes = append(e.classes, class)
 			e.origin = append(e.origin, jobOrigin{owner: j})
 			continue
@@ -111,7 +111,7 @@ func (s *Service) expand(jobs []BatchJob) *expansion {
 		})
 		e.states[j] = st
 		for b := 0; b < k; b++ {
-			e.pool = append(e.pool, bandJob(job, st, b))
+			e.pool = append(e.pool, s.bandPoolJob(job, st, b, class, k))
 			e.classes = append(e.classes, class)
 			e.origin = append(e.origin, jobOrigin{owner: j, band: b})
 		}
@@ -177,16 +177,9 @@ func jobApproxBytes(j BatchJob) int64 {
 // legalize clones, and Stitch builds a fresh layout without mutating its
 // inputs.
 func (s *Service) prepareShards(job BatchJob, k int) (*shardPrep, error) {
-	halo := job.ShardHalo
-	if halo == 0 {
-		halo = s.shardHalo
-	}
-	if halo < 0 {
-		halo = 0
-	}
+	halo := s.effectiveHalo(job)
 	if s.layouts != nil && job.Layout == nil {
-		if spec, ok := gen.ByName(job.Design); ok {
-			key := fmt.Sprintf("%s|bands=%d|halo=%d", spec.CacheKey(job.effectiveScale()), k, halo)
+		if key, ok := shardMemoKey(job, k, halo); ok {
 			v, err := s.layouts.Do(key, func() (any, int64, error) {
 				p, err := s.splitShards(job, k, halo)
 				if err != nil {
@@ -207,6 +200,36 @@ func (s *Service) prepareShards(job BatchJob, k int) (*shardPrep, error) {
 		}
 	}
 	return s.splitShards(job, k, halo)
+}
+
+// effectiveHalo resolves a job's seam-reassignment window: the job's own
+// knob, else the service default; negative disables the halo.
+func (s *Service) effectiveHalo(job BatchJob) int {
+	halo := job.ShardHalo
+	if halo == 0 {
+		halo = s.shardHalo
+	}
+	if halo < 0 {
+		halo = 0
+	}
+	return halo
+}
+
+// shardMemoKey is the cache key of one sharded job's decomposition —
+// (design, scale, seed) via the spec's layout key, plus the band count and
+// halo that shape the split. It doubles as the base of the fleet routing
+// key, so the worker a band hashes to is the worker that saw the same
+// decomposition before. Explicit-layout jobs have no stable identity to
+// key on (ok = false).
+func shardMemoKey(job BatchJob, k, halo int) (string, bool) {
+	if job.Layout != nil {
+		return "", false
+	}
+	spec, ok := gen.ByName(job.Design)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("%s|bands=%d|halo=%d", spec.CacheKey(job.effectiveScale()), k, halo), true
 }
 
 // splitShards is the uncached decomposition: resolve the layout, plan the
