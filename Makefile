@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check doccheck flexvet lint test race bench bench-record benchdiff ci
+.PHONY: all build vet fmt-check doccheck flexvet lint test fuzz race bench bench-record benchdiff ci
 
 # The canonical perf-trajectory recording command (docs/BENCHMARKING.md).
 # -workers 1 keeps reconfiguration counts deterministic so the file is
@@ -38,8 +38,15 @@ lint: vet fmt-check doccheck flexvet
 
 # -shuffle=on randomizes test order so accidental inter-test coupling
 # fails loudly instead of passing by luck.
-test:
+test: fuzz
 	$(GO) test -shuffle=on ./...
+
+# Native fuzz smoke: each target explores for 10s on top of its committed
+# seed corpus (testdata/fuzz/<FuzzName>/); any finding fails the build.
+# go test allows one -fuzz pattern per invocation, hence one line per target.
+fuzz:
+	$(GO) test ./internal/model -run=NONE -fuzz=FuzzFlexplRoundTrip -fuzztime=10s
+	$(GO) test ./internal/shard -run=NONE -fuzz=FuzzSplitStitch -fuzztime=10s
 
 race:
 	$(GO) test -shuffle=on -race ./...
@@ -56,4 +63,4 @@ benchdiff: bench-record
 	$(GO) run ./cmd/benchdiff -op-tol 0 \
 		$$(ls BENCH_[0-9]*.json | sort -t_ -k2 -n | tail -1) BENCH_new.json
 
-ci: build lint race bench benchdiff
+ci: build lint race fuzz bench benchdiff

@@ -1,13 +1,26 @@
 package flex_test
 
 import (
+	"bytes"
 	"testing"
 
 	flex "github.com/flex-eda/flex"
 )
 
+// genLayout builds the benchmarks' input through the canonical flexpl
+// round trip, so they measure exactly the bytes the serving path hashes
+// and caches (a generated layout and its canonical form are identical;
+// this keeps that equivalence load-bearing).
 func genLayout() (*flex.Layout, error) {
-	return flex.GenerateCustom(600, 0.6, 33)
+	l, err := flex.GenerateCustom(600, 0.6, 33)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := flex.WriteLayout(&buf, l); err != nil {
+		return nil, err
+	}
+	return flex.ReadLayout(&buf)
 }
 
 func mustLegal(b *testing.B, legal bool) {

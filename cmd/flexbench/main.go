@@ -4,10 +4,10 @@
 // Usage:
 //
 //	flexbench [-exp all|table1|table2|fig2a|fig2b|fig2c|fig2g|fig6g|fig8|fig9|fig10
-//	           |scalability|ordering|sharded|sched|bench]
+//	           |scalability|ordering|sharded|sched|eco|bench]
 //	          [-scale 0.02] [-designs name1,name2] [-threads 8] [-measure-original]
 //	          [-workers N] [-fpgas N] [-cache-mb M] [-repeat N]
-//	          [-shards K] [-shard-halo R]
+//	          [-shards K] [-shard-halo R] [-eco-bands 8] [-eco-halo 1] [-eco-edits 8]
 //	          [-sched priority|fifo] [-priority P] [-reconfig-ms D] [-sched-jobs J]
 //	          [-bench-out BENCH_n.json]
 //
@@ -35,6 +35,15 @@
 // mode for cache effectiveness (stdout repeats the identical tables; wall
 // time and cache hit/miss deltas land on stderr). Caching never changes a
 // table — only where the layouts come from.
+//
+// -exp eco measures the incremental (ECO) legalization path: each design is
+// legalized once across -eco-bands row bands, then -eco-edits single-cell
+// in-halo moves are served both incrementally (only the dirty bands
+// re-solve; the clean bands splice from the base run) and as full re-runs.
+// The driver fails hard unless every incremental result is byte-identical
+// to its full re-run; the table reports the modeled edit-stream speedup the
+// dirty-band path buys (T_full / T_inc — the flex.Service outcome cache
+// realizes the same reuse for served traffic).
 //
 // -sched selects the pool's queue policy (priority, the default:
 // effective priority with aging, EDF within a level, weighted fair share;
@@ -116,7 +125,7 @@ func reportStats(name string, st batch.Stats) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig2a, fig2b, fig2c, fig2g, fig6g, fig8, fig9, fig10, scalability, ordering, sharded, sched, bench)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig2a, fig2b, fig2c, fig2g, fig6g, fig8, fig9, fig10, scalability, ordering, sharded, sched, eco, bench)")
 	scale := flag.Float64("scale", 0.02, "benchmark scale factor (1.0 = paper-size designs)")
 	designs := flag.String("designs", "", "comma-separated design filter (default: all 16)")
 	threads := flag.Int("threads", 8, "CPU baseline thread count")
@@ -127,11 +136,14 @@ func main() {
 	repeat := flag.Int("repeat", 1, "run the selected experiments N times on the same warm service")
 	shards := flag.Int("shards", 4, "row bands per design for -exp sharded (1 = single band through the shard machinery)")
 	shardHalo := flag.Int("shard-halo", 2, "seam-crossing reassignment window in rows for -exp sharded")
+	ecoBands := flag.Int("eco-bands", 8, "row bands per design for -exp eco (more bands = less dirty work per edit)")
+	ecoHalo := flag.Int("eco-halo", 1, "split halo in rows for -exp eco (a single-cell move dirties one band when its halo-expanded span stays inside the band)")
+	ecoEdits := flag.Int("eco-edits", 8, "in-halo cell moves per design for -exp eco")
 	schedName := flag.String("sched", "priority", "queue policy for workers and boards (priority, fifo)")
 	priority := flag.Int("priority", 0, "scheduling priority stamped on every driver job (higher runs earlier)")
 	reconfigMS := flag.Int("reconfig-ms", 0, "modeled FPGA reconfiguration delay in ms when consecutive board holders differ (0 = counted, free)")
 	schedJobs := flag.Int("sched-jobs", 8, "jobs per priority class for -exp sched")
-	benchOut := flag.String("bench-out", "", "write the deterministic perf-trajectory record (BENCH_*.json) of the table1/sharded/sched drivers to this path")
+	benchOut := flag.String("bench-out", "", "write the deterministic perf-trajectory record (BENCH_*.json) of the table1/sharded/sched/eco drivers to this path")
 	flag.Parse()
 
 	policy, err := sched.ParsePolicy(*schedName)
@@ -194,7 +206,7 @@ func main() {
 	// excluded from "all" and filter themselves). -exp bench is the
 	// canonical recording selection: exactly the drivers that emit
 	// benchjson records.
-	benchable := map[string]bool{"table1": true, "sharded": true, "sched": true}
+	benchable := map[string]bool{"table1": true, "sharded": true, "sched": true, "eco": true}
 	rep := 1
 	runWithStats := func(name string, f func(experiments.Options) error) {
 		var st batch.Stats
@@ -367,6 +379,18 @@ func main() {
 				return nil
 			})
 		}
+		if *exp == "eco" || *exp == "bench" {
+			ran = true
+			fmt.Println("==> eco") //flexvet:stdout section header, part of the byte-compared tables
+			runWithStats("eco", func(o experiments.Options) error {
+				pts, err := experiments.Eco(o, *ecoBands, *ecoHalo, *ecoEdits)
+				if err != nil {
+					return err
+				}
+				experiments.RenderEco(pts).Render(os.Stdout)
+				return nil
+			})
+		}
 		if *exp == "sharded" || *exp == "bench" {
 			ran = true
 			fmt.Println("==> sharded") //flexvet:stdout section header, part of the byte-compared tables
@@ -415,7 +439,7 @@ func main() {
 	if !ran {
 		// A typoed -exp must not succeed vacuously — it would turn the
 		// CI byte-compare gate into cmp of two empty files.
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, table1, table2, fig2a, fig2b, fig2c, fig2g, fig6g, fig8, fig9, fig10, scalability, ordering, sharded, sched, bench)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, table1, table2, fig2a, fig2b, fig2c, fig2g, fig6g, fig8, fig9, fig10, scalability, ordering, sharded, sched, eco, bench)\n", *exp)
 		os.Exit(2)
 	}
 	if bench != nil {

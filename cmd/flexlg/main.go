@@ -8,6 +8,7 @@
 //	       [-shards K] [-shard-halo R]
 //	       [-sched priority|fifo] [-priority P | P1,P2,...] [-client NAME]
 //	       [-deadline-ms D] [-reconfig-ms D]
+//	       [-edit SPEC,SPEC,...] [-outcome-cache-mb M] [-cache-dir DIR]
 //	       [-in design.flexpl | -design name [-scale 0.02]]
 //	       [-out legal.flexpl]
 //
@@ -41,6 +42,25 @@
 // different jobs' device phases. Scheduling changes only when jobs run:
 // stdout and -out stay byte-identical across -sched and -priority
 // assignments.
+//
+// -edit perturbs the input before legalization with a comma-separated list
+// of cell edits:
+//
+//	move:NAME:GX:GY          reposition a movable cell's placement anchor
+//	ins:NAME:GX:GY:W:H[:P]   insert a new cell (P: any, even, odd)
+//	del:NAME                 delete a movable cell
+//
+// With -cache-dir (or -outcome-cache-mb), the service memoizes finished
+// legalizations by input-layout content hash: a repeated run serves from
+// cache, and a sharded -edit run against a previously legalized base
+// re-legalizes only the dirty row bands, splicing the rest from the cached
+// outcome — byte-identical to the full re-run. -cache-dir persists the
+// cache across invocations, which is what makes the incremental path pay
+// off for a one-shot CLI:
+//
+//	flexlg -in base.flexpl -shards 8 -cache-dir /tmp/eco -out v0.flexpl
+//	flexlg -in base.flexpl -shards 8 -cache-dir /tmp/eco \
+//	       -edit move:c42:10:5 -out v1.flexpl   # dirty bands only
 package main
 
 import (
@@ -124,6 +144,67 @@ func parsePriorities(s string, n int) ([]int, error) {
 	return out, nil
 }
 
+// parseEdits expands the -edit flag's comma-separated specs into the
+// library's edit batch.
+func parseEdits(s string) ([]flex.Edit, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var edits []flex.Edit
+	for pos, spec := range strings.Split(s, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		parts := strings.Split(spec, ":")
+		atoi := func(i int, what string) (int, error) {
+			n, err := strconv.Atoi(parts[i])
+			if err != nil {
+				return 0, fmt.Errorf("edit %d (%q): bad %s %q", pos+1, spec, what, parts[i])
+			}
+			return n, nil
+		}
+		var e flex.Edit
+		var err error
+		switch {
+		case parts[0] == "move" && len(parts) == 4:
+			e.Op, e.Cell = flex.EditMove, parts[1]
+			if e.GX, err = atoi(2, "gx"); err != nil {
+				return nil, err
+			}
+			if e.GY, err = atoi(3, "gy"); err != nil {
+				return nil, err
+			}
+		case parts[0] == "del" && len(parts) == 2:
+			e.Op, e.Cell = flex.EditDelete, parts[1]
+		case parts[0] == "ins" && (len(parts) == 6 || len(parts) == 7):
+			e.Op, e.Cell = flex.EditInsert, parts[1]
+			if e.GX, err = atoi(2, "gx"); err != nil {
+				return nil, err
+			}
+			if e.GY, err = atoi(3, "gy"); err != nil {
+				return nil, err
+			}
+			if e.W, err = atoi(4, "w"); err != nil {
+				return nil, err
+			}
+			if e.H, err = atoi(5, "h"); err != nil {
+				return nil, err
+			}
+			if len(parts) == 7 {
+				e.Parity = parts[6]
+			}
+		default:
+			return nil, fmt.Errorf("edit %d: unknown spec %q (want move:NAME:GX:GY, ins:NAME:GX:GY:W:H[:parity], del:NAME)", pos+1, spec)
+		}
+		if e.Cell == "" {
+			return nil, fmt.Errorf("edit %d (%q): empty cell name", pos+1, spec)
+		}
+		edits = append(edits, e)
+	}
+	return edits, nil
+}
+
 func main() {
 	engineList := flag.String("engine", "flex", "engine: flex, mgl, mgl-mt, gpu, analytical; comma-separated list or \"all\" compares engines")
 	threads := flag.Int("threads", 8, "threads for mgl-mt")
@@ -137,6 +218,9 @@ func main() {
 	client := flag.String("client", "", "tenant identity the jobs submit under")
 	deadlineMS := flag.Int64("deadline-ms", 0, "relative completion deadline in ms; expired queued jobs fail fast (0 = none)")
 	reconfigMS := flag.Int("reconfig-ms", 0, "modeled FPGA reconfiguration delay in ms between different jobs' device phases (0 = counted, free)")
+	editList := flag.String("edit", "", "comma-separated cell edits applied before legalization: move:NAME:GX:GY, ins:NAME:GX:GY:W:H[:parity], del:NAME")
+	outcomeCacheMB := flag.Int("outcome-cache-mb", 0, "outcome cache budget in MiB: memoize results by layout content hash so -edit runs re-legalize only dirty bands (0 = off unless -cache-dir is set)")
+	cacheDir := flag.String("cache-dir", "", "persist the outcome cache as content-addressed files in this directory across invocations (enables the outcome cache)")
 	in := flag.String("in", "", "input flexpl file (default: generated demo)")
 	design := flag.String("design", "", "built-in benchmark name to generate instead of -in (see flexbench -designs)")
 	scale := flag.Float64("scale", 0.02, "generation scale for -design (1.0 = paper size)")
@@ -156,6 +240,11 @@ func main() {
 		os.Exit(2)
 	}
 	priorities, err := parsePriorities(*priorityList, len(engines))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	edits, err := parseEdits(*editList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -224,6 +313,7 @@ func main() {
 			Priority:  priorities[i],
 			Deadline:  deadline,
 			Client:    *client,
+			Edits:     edits,
 		}
 	}
 	// Stream a progress line per job in completion order on stderr; the
@@ -266,7 +356,9 @@ func main() {
 	svc := flex.NewService(flex.WithWorkers(*workers), flex.WithFPGAs(*fpgas),
 		flex.WithCacheBytes(int64(*cacheMB)<<20),
 		flex.WithScheduler(scheduler),
-		flex.WithReconfigCost(time.Duration(*reconfigMS)*time.Millisecond))
+		flex.WithReconfigCost(time.Duration(*reconfigMS)*time.Millisecond),
+		flex.WithOutcomeCacheBytes(int64(*outcomeCacheMB)<<20),
+		flex.WithCacheDir(*cacheDir))
 	//flexvet:close shutdown close at CLI exit: the pool drained with Submit, so there is no error left to act on
 	defer svc.Close()
 	sum, err := svc.Submit(context.Background(), jobs, flex.SubmitOptions{OnResult: progress, OnShard: shardProgress})
@@ -279,6 +371,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses (rate %.2f), %d entries, %.1f MiB resident\n",
 			st.CacheHits, st.CacheMisses, st.CacheHitRate(),
 			st.CacheEntries, float64(st.CacheBytes)/(1<<20))
+	}
+	if *outcomeCacheMB > 0 || *cacheDir != "" {
+		st := svc.Stats()
+		fmt.Fprintf(os.Stderr, "outcomes: %d hits, %d misses, %d incremental, %d fallbacks, %d loaded from disk\n",
+			st.OutcomeHits, st.OutcomeMisses, st.Incremental, st.Fallbacks, st.OutcomeLoaded)
 	}
 
 	exit := 0

@@ -9,7 +9,7 @@
 //	          [-cache-mb 256] [-queue-depth 1024] [-max-body-mb 64]
 //	          [-max-scale 0.2] [-max-shards 64] [-auto-shard-mb 0]
 //	          [-sched priority|fifo] [-client-quota 0] [-client-queue-depth 0]
-//	          [-reconfig-ms 0]
+//	          [-reconfig-ms 0] [-outcome-cache-mb 0] [-cache-dir DIR]
 //	          [-mode single|coordinator|worker] [-peers URL,URL,...]
 //	          [-fleet-timeout-ms 120000] [-fleet-inflight 16] [-fleet-retries 0]
 //
@@ -57,6 +57,15 @@
 //	    single tenant over its own admission bound gets a per-client 429
 //	    (other tenants keep submitting) whose Retry-After reflects that
 //	    tenant's backlog.
+//	    With -outcome-cache-mb or -cache-dir, finished legalizations are
+//	    memoized by input-layout content hash: every result line gains a
+//	    "layoutHash" a later job may name as its "base", and a job may
+//	    carry "edits" (cell moves/inserts/deletes) perturbing its input —
+//	    a sharded edit against a cached base re-legalizes only the dirty
+//	    row bands and splices the rest from the cached outcome,
+//	    byte-identical to the full re-run. -cache-dir persists the cache
+//	    as content-addressed files loaded on start, so a restarted server
+//	    is warm. /v1/stats gains incremental/fallbacks/outcomeHits.
 //	GET /v1/stats    — cumulative service statistics (jobs, cache hit
 //	                   rate, device contention, fleet routing) as JSON.
 //	GET /healthz     — liveness probe: 200 {"status":"ok"} while serving,
@@ -97,6 +106,8 @@ func main() {
 	clientQuota := flag.Int("client-quota", 0, "max concurrently running jobs per client (0 = unlimited)")
 	clientQueueDepth := flag.Int("client-queue-depth", 0, "per-client admission bound on queued+running jobs; exceeding it returns a per-client 429 (0 = unbounded)")
 	reconfigMS := flag.Int("reconfig-ms", 0, "modeled FPGA reconfiguration delay in ms when consecutive board holders differ (0 = counted, free)")
+	outcomeCacheMB := flag.Int("outcome-cache-mb", 0, "outcome cache budget in MiB: memoize legalization results by layout content hash and serve edit jobs incrementally (0 = off unless -cache-dir is set)")
+	cacheDir := flag.String("cache-dir", "", "persist the outcome cache as content-addressed files in this directory, loaded on start (enables the outcome cache)")
 	mode := flag.String("mode", "single", "fleet role: single, coordinator (execute jobs on -peers workers), or worker (serve fleet jobs at /w/v1/*)")
 	peers := flag.String("peers", "", "comma-separated worker base URLs, e.g. http://10.0.0.2:8080,http://10.0.0.3:8080 (coordinator mode)")
 	fleetTimeoutMS := flag.Int("fleet-timeout-ms", 120000, "one remote job attempt's end-to-end timeout in ms (coordinator mode)")
@@ -119,6 +130,8 @@ func main() {
 		flex.WithClientQuota(*clientQuota),
 		flex.WithClientQueueDepth(*clientQueueDepth),
 		flex.WithReconfigCost(time.Duration(*reconfigMS) * time.Millisecond),
+		flex.WithOutcomeCacheBytes(int64(*outcomeCacheMB) << 20),
+		flex.WithCacheDir(*cacheDir),
 	}
 	var workerURLs []string
 	for _, p := range strings.Split(*peers, ",") {

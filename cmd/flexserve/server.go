@@ -43,6 +43,17 @@ type jobRequest struct {
 	// and the per-client admission bound (429) key off it. Empty is the
 	// shared anonymous client.
 	Client string `json:"client,omitempty"`
+	// Base names the job's input layout by content hash — the layoutHash a
+	// previous result line reported. It requires the server's outcome
+	// cache (-outcome-cache-mb / -cache-dir) and is mutually exclusive
+	// with design and layout; a hash the server has never legalized fails
+	// the job in its result line.
+	Base string `json:"base,omitempty"`
+	// Edits perturbs the job's input (base, layout, or generated design)
+	// before legalization: cell moves, inserts, deletes. On a sharded job
+	// against a cached base, only the dirty row bands re-legalize; the
+	// rest splice from the cached outcome, byte-identical to a full run.
+	Edits []flex.Edit `json:"edits,omitempty"`
 }
 
 // legalizeRequest is the POST /v1/legalize body.
@@ -81,6 +92,10 @@ type resultLine struct {
 	SchedWaitMs float64 `json:"schedWaitMs,omitempty"`
 	Reconfigs   int     `json:"reconfigs,omitempty"`
 	Layout      string  `json:"layout,omitempty"`
+	// LayoutHash is the content hash of the job's input layout — the
+	// handle a later request's "base" field may reference. Present only on
+	// servers with an outcome cache.
+	LayoutHash string `json:"layoutHash,omitempty"`
 }
 
 // summaryLine closes every NDJSON stream.
@@ -149,6 +164,21 @@ type statsResponse struct {
 	DeviceHoldMs    float64 `json:"deviceHoldMs"`
 	DeviceAcquires  int     `json:"deviceAcquires"`
 	DeviceContended int     `json:"deviceContended"`
+	// Outcome-cache accounting (zero unless -outcome-cache-mb or
+	// -cache-dir is set): incremental counts edit jobs that spliced cached
+	// clean bands; fallbacks edit jobs that ran in full; outcomeHits jobs
+	// served wholly or partly from a cached outcome; outcomeDiskHits
+	// lookups that re-warmed from -cache-dir files; outcomeLoaded entries
+	// restored at start; outcomeErrors corrupt files skipped.
+	Incremental     int64 `json:"incremental"`
+	Fallbacks       int64 `json:"fallbacks"`
+	OutcomeHits     int64 `json:"outcomeHits"`
+	OutcomeMisses   int64 `json:"outcomeMisses"`
+	OutcomeEntries  int   `json:"outcomeEntries"`
+	OutcomeBytes    int64 `json:"outcomeBytes"`
+	OutcomeDiskHits int64 `json:"outcomeDiskHits"`
+	OutcomeLoaded   int64 `json:"outcomeLoaded"`
+	OutcomeErrors   int64 `json:"outcomeErrors"`
 	// Fleet is the coordinator's routing snapshot: present only when the
 	// server was started with -mode coordinator.
 	Fleet *fleetStatsResponse `json:"fleet,omitempty"`
@@ -336,15 +366,35 @@ func (s *server) parseJobs(r *http.Request) ([]flex.BatchJob, legalizeRequest, e
 			//flexvet:walltime deadlineMs is wall-relative by API contract; it gates scheduling, never result bytes
 			j.Deadline = time.Now().Add(time.Duration(jr.DeadlineMs) * time.Millisecond)
 		}
+		for k, e := range jr.Edits {
+			switch e.Op {
+			case flex.EditMove, flex.EditInsert, flex.EditDelete:
+			default:
+				return nil, req, fmt.Errorf("job %d: edit %d: unknown op %q (want move, insert, delete)", i, k, e.Op)
+			}
+			if e.Cell == "" {
+				return nil, req, fmt.Errorf("job %d: edit %d: cell name is required", i, k)
+			}
+		}
+		j.Edits = jr.Edits
+		sources := 0
+		for _, set := range []bool{jr.Layout != "", jr.Design != "", jr.Base != ""} {
+			if set {
+				sources++
+			}
+		}
+		if sources > 1 {
+			return nil, req, fmt.Errorf("job %d: design, layout and base are mutually exclusive", i)
+		}
 		switch {
-		case jr.Layout != "" && jr.Design != "":
-			return nil, req, fmt.Errorf("job %d: design and layout are mutually exclusive", i)
 		case jr.Layout != "":
 			l, err := flex.ReadLayout(strings.NewReader(jr.Layout))
 			if err != nil {
 				return nil, req, fmt.Errorf("job %d: invalid flexpl layout: %w", i, err)
 			}
 			j.Layout = l
+		case jr.Base != "":
+			j.BaseHash = jr.Base
 		case jr.Design != "":
 			if !s.knownSet[jr.Design] {
 				return nil, req, fmt.Errorf("job %d: unknown design %q", i, jr.Design)
@@ -360,7 +410,7 @@ func (s *server) parseJobs(r *http.Request) ([]flex.BatchJob, legalizeRequest, e
 			}
 			j.Design = jr.Design
 		default:
-			return nil, req, fmt.Errorf("job %d: one of design or layout is required", i)
+			return nil, req, fmt.Errorf("job %d: one of design, layout or base is required", i)
 		}
 		jobs[i] = j
 	}
@@ -548,6 +598,7 @@ func (s *server) handleLegalize(w http.ResponseWriter, r *http.Request) {
 			line.DeviceHoldMs = ms(res.DeviceHold)
 			line.Reconfigs = res.DeviceReconfigs
 			line.Shards = len(res.Shards)
+			line.LayoutHash = o.InputHash
 			sum.ModeledSeconds += o.ModeledSeconds
 			if req.IncludeLayout {
 				var sb strings.Builder
@@ -603,6 +654,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheBytes: st.CacheBytes, CacheMaxBytes: st.CacheMaxBytes,
 		DeviceWaitMs: ms(st.DeviceWait), DeviceHoldMs: ms(st.DeviceHold),
 		DeviceAcquires: st.DeviceAcquires, DeviceContended: st.DeviceContended,
+		Incremental: st.Incremental, Fallbacks: st.Fallbacks,
+		OutcomeHits: st.OutcomeHits, OutcomeMisses: st.OutcomeMisses,
+		OutcomeEntries: st.OutcomeEntries, OutcomeBytes: st.OutcomeBytes,
+		OutcomeDiskHits: st.OutcomeDiskHits, OutcomeLoaded: st.OutcomeLoaded,
+		OutcomeErrors: st.OutcomeErrors,
 	}
 	if st.Fleet != nil {
 		f := &fleetStatsResponse{

@@ -200,7 +200,7 @@ func TestLegalizeMalformedRequests(t *testing.T) {
 	}{
 		{"broken JSON", `{"jobs":`, "invalid JSON"},
 		{"no jobs", `{"jobs":[]}`, "no jobs"},
-		{"neither design nor layout", `{"jobs":[{"engine":"flex"}]}`, "one of design or layout"},
+		{"neither design nor layout", `{"jobs":[{"engine":"flex"}]}`, "one of design, layout or base"},
 		{"both design and layout", `{"jobs":[{"design":"fft_a_md2","layout":"x"}]}`, "mutually exclusive"},
 		{"unknown design", `{"jobs":[{"design":"nope"}]}`, "unknown design"},
 		{"unknown engine", `{"jobs":[{"design":"fft_a_md2","engine":"turbo"}]}`, "unknown engine"},

@@ -239,7 +239,10 @@ func (s *Service) poolJob(job BatchJob, class sched.Class) batch.Job[*Outcome] {
 
 // bandPoolJob builds one band's pool closure: split locally (the
 // coordinator owns the plan — it must stitch), then legalize the band
-// locally or ship it to the fleet.
+// locally or ship it to the fleet. Bands served from the outcome cache
+// never leave the coordinator; with an outcome cache on, the bands that do
+// ship route by their content hash, so an edited job's untouched bands
+// hash to the workers that legalized the same bytes before.
 func (s *Service) bandPoolJob(job BatchJob, st *shardState, b int, class sched.Class, k int) batch.Job[*Outcome] {
 	if s.router == nil {
 		return bandJob(job, st, b)
@@ -252,6 +255,14 @@ func (s *Service) bandPoolJob(job BatchJob, st *shardState, b int, class sched.C
 		}
 		if b >= len(p.bands) {
 			return nil, nil
+		}
+		if out, ok, err := st.cachedBand(job, b); ok || err != nil {
+			return out, err
+		}
+		if st.eco != nil {
+			if info, err := st.eco(); err == nil && b < len(info.bandIn) {
+				key = "band|" + info.bandIn[b]
+			}
 		}
 		return s.remoteLegalize(ctx, job, p.bands[b], key)
 	}

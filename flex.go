@@ -148,6 +148,11 @@ type Outcome struct {
 	Violations     []Violation
 	ModeledSeconds float64
 	Engine         Engine
+	// InputHash is the content hash of the job's input layout — the handle
+	// a later BatchJob.BaseHash or flexserve "base" field may reference to
+	// request an incremental re-legalization. Set only by services with an
+	// outcome cache (WithOutcomeCacheBytes / WithCacheDir); empty otherwise.
+	InputHash string
 }
 
 // Legalize runs the selected engine with default options on a clone of l.
@@ -257,6 +262,20 @@ type BatchJob struct {
 	// with ErrClientOverloaded). Empty is the shared anonymous client. A
 	// sharded job's bands all carry the owner's client.
 	Client string
+	// Edits perturbs the job's input before legalization: each edit moves,
+	// inserts or deletes a movable cell of the base layout (BaseHash,
+	// Layout, or the generated Design, in that precedence). On a service
+	// with an outcome cache a sharded edited job re-legalizes only the
+	// dirty row bands and splices the cached base outcome's clean bands in
+	// — byte-identical to a full re-run of the edited layout; without a
+	// cache (or when the delta ripples past the halo, or the base outcome
+	// is cold) the edited layout takes an ordinary full run.
+	Edits []Edit
+	// BaseHash names the job's input layout by content hash (LayoutHash, or
+	// a previous Outcome.InputHash) instead of re-sending it: the layout is
+	// resolved from the service's outcome cache. Requires
+	// WithOutcomeCacheBytes or WithCacheDir; an unknown hash fails the job.
+	BaseHash string
 }
 
 // NeedsFPGA reports the job's accelerator requirement: FLEX occupies the

@@ -1,0 +1,43 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFlexplRoundTrip checks the flexpl codec's canonical fixed point on
+// arbitrary bytes: Decode may reject an input (it is line-oriented and
+// lenient about trailing garbage inside fields), but whatever it accepts
+// must re-encode to a form that decodes to the very same canonical bytes.
+// This is the invariant every content-hash consumer (the outcome cache
+// keys layouts by canonical flexpl bytes) depends on.
+func FuzzFlexplRoundTrip(f *testing.F) {
+	f.Add([]byte("flexpl 1\ndesign d\ndie 8 4 8\ncells 1\na 0 0 2 1 any 0\n"))
+	f.Add([]byte("flexpl 1\ndesign mix\ndie 16 8 8\ncells 3\n" +
+		"a 0 0 2 1 any 0\nb 4 2 3 2 even 0 5 2\nblk 8 0 4 8 odd 1\n"))
+	f.Add([]byte("flexpl 1\n# comment\ndesign c\ndie 4 2 8\ncells 0\n"))
+	f.Add([]byte("flexpl 2\ndesign d\ndie 8 4 8\ncells 1\n"))
+	f.Add([]byte("flexpl 1\ndesign d\ndie 8 4 8\ncells 2\na 0 0 2 1 any 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input may be rejected, never panic
+		}
+		var first bytes.Buffer
+		if err := Encode(&first, l); err != nil {
+			t.Fatalf("encode of decoded layout failed: %v", err)
+		}
+		l2, err := Decode(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical form does not decode: %v\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := Encode(&second, l2); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("canonical form is not a fixed point:\nfirst:\n%s\nsecond:\n%s",
+				first.Bytes(), second.Bytes())
+		}
+	})
+}

@@ -94,7 +94,15 @@ func Decode(r io.Reader) (*Layout, error) {
 	if n < 0 {
 		return nil, errf("negative cell count %d", n)
 	}
-	l.Cells = make([]Cell, 0, n)
+	// Cap the pre-allocation: the header's count is untrusted (flexserve
+	// decodes raw request bodies), and each claimed cell still needs a line
+	// of input, so a lying header fails cheaply instead of sizing a huge
+	// allocation up front.
+	capHint := n
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	l.Cells = make([]Cell, 0, capHint)
 	for i := 0; i < n; i++ {
 		if s, err = next(); err != nil {
 			return nil, fmt.Errorf("flexpl: expected %d cells, got %d: %w", n, i, err)

@@ -1,0 +1,61 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/flex-eda/flex/internal/model"
+)
+
+// FuzzSplitStitch checks the decomposition's losslessness contract on
+// arbitrary decodable layouts: PlanBands → Split → Stitch with untouched
+// band layouts must reproduce the input byte for byte in canonical flexpl
+// form, for any band count and halo. The incremental (ECO) path splices
+// cached band outcomes on exactly this contract.
+func FuzzSplitStitch(f *testing.F) {
+	f.Add([]byte("flexpl 1\ndesign d\ndie 8 8 8\ncells 2\na 0 0 2 1 any 0\nb 3 5 2 2 even 0 4 6\n"), 2, 1)
+	f.Add([]byte("flexpl 1\ndesign tall\ndie 16 12 8\ncells 3\n"+
+		"a 0 0 2 4 any 0\nblk 4 0 2 12 odd 1\nc 8 9 3 2 even 0\n"), 4, 2)
+	f.Add([]byte("flexpl 1\ndesign off\ndie 8 6 8\ncells 1\na 2 99 2 1 any 0 2 -5\n"), 3, 0)
+	f.Fuzz(func(t *testing.T, data []byte, k, halo int) {
+		l, err := model.Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if k < 1 || k > 64 || halo < -4 || halo > 8 {
+			return
+		}
+		if l.NumRows < 1 || l.NumRows > 1<<16 || len(l.Cells) == 0 {
+			return
+		}
+		plan, err := PlanBands(l, k, halo)
+		if err != nil {
+			t.Fatalf("PlanBands(k=%d, halo=%d): %v", k, halo, err)
+		}
+		var want bytes.Buffer
+		if err := model.Encode(&want, l); err != nil {
+			t.Fatalf("encode input: %v", err)
+		}
+		bands, err := Split(l, plan)
+		if err != nil {
+			t.Fatalf("Split: %v", err)
+		}
+		got, err := Stitch(l, plan, bands)
+		if err != nil {
+			t.Fatalf("Stitch: %v", err)
+		}
+		var round bytes.Buffer
+		if err := model.Encode(&round, got); err != nil {
+			t.Fatalf("encode stitched: %v", err)
+		}
+		if !bytes.Equal(want.Bytes(), round.Bytes()) {
+			t.Fatalf("split/stitch not lossless (k=%d, halo=%d):\nwant:\n%s\ngot:\n%s",
+				k, halo, want.Bytes(), round.Bytes())
+		}
+		for _, b := range bands {
+			if err := model.Encode(&bytes.Buffer{}, b); err != nil {
+				t.Fatalf("band does not encode: %v", err)
+			}
+		}
+	})
+}

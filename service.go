@@ -104,6 +104,11 @@ type serviceConfig struct {
 	clientWeights  map[string]int
 	reconfigCost   time.Duration
 
+	// Outcome cache (see WithOutcomeCacheBytes and friends in eco.go).
+	outcomeBytes int64
+	cacheDir     string
+	outcomeWarn  func(path string, err error)
+
 	// Fleet coordination (see WithWorkersList and friends in fleet.go).
 	fleetWorkers  []string
 	fleetTimeout  time.Duration
@@ -256,6 +261,12 @@ type Service struct {
 	// jobs then execute remotely instead of running a local engine.
 	router *fleet.Router
 
+	// outcomes is non-nil when the outcome cache is on
+	// (WithOutcomeCacheBytes / WithCacheDir): finished legalizations are
+	// memoized by input-layout content hash, and edited jobs splice cached
+	// clean bands instead of re-legalizing them (see eco.go).
+	outcomes *cache.Disk
+
 	mu               sync.Mutex
 	batches          int64
 	jobs             int64
@@ -264,6 +275,10 @@ type Service struct {
 	skipped          int64
 	overloaded       int64
 	clientOverloaded int64
+	incremental      int64
+	fallbacks        int64
+	outcomeHits      int64
+	outcomeMisses    int64
 }
 
 // NewService builds and starts a Service. Callers must Close it to release
@@ -296,6 +311,7 @@ func NewService(opts ...ServiceOption) *Service {
 	if cfg.cacheBytes > 0 {
 		s.layouts = cache.New(cfg.cacheBytes)
 	}
+	s.outcomes = newOutcomeCache(&cfg)
 	if len(cfg.fleetWorkers) > 0 {
 		s.router = fleet.NewRouter(fleet.RouterConfig{
 			Workers:  cfg.fleetWorkers,
@@ -512,6 +528,21 @@ type ServiceStats struct {
 	CacheHits, CacheMisses, CacheEvictions int64
 	CacheEntries                           int
 	CacheBytes, CacheMaxBytes              int64
+	// Outcome-cache accounting (all zero when the outcome cache is off).
+	// OutcomeHits counts jobs served wholly or partly from a cached
+	// outcome; OutcomeMisses jobs that ran with the cache on but found
+	// nothing reusable. Incremental counts eco jobs (edits or a base
+	// reference) that spliced cached clean bands; Fallbacks eco jobs that
+	// had to run in full — base cold, edits past the halo, or a dirty
+	// prediction contradicted by a band hash. OutcomeDiskHits counts
+	// lookups served from the -cache-dir files after missing memory;
+	// OutcomeLoaded entries restored at start; OutcomeErrors corrupt or
+	// unwritable files skipped with a warning.
+	Incremental, Fallbacks                        int64
+	OutcomeHits, OutcomeMisses                    int64
+	OutcomeEntries                                int
+	OutcomeBytes                                  int64
+	OutcomeDiskHits, OutcomeLoaded, OutcomeErrors int64
 	// Device contention, cumulative across every submission: total queue
 	// time and board occupancy, acquisitions, and how many had to wait.
 	DeviceWait, DeviceHold          time.Duration
@@ -544,6 +575,8 @@ func (s *Service) Stats() ServiceStats {
 		Scheduler:    s.scheduler.String(),
 		ClientQuota:  s.clientQuota,
 		ReconfigCost: s.reconfigCost,
+		Incremental:  s.incremental, Fallbacks: s.fallbacks,
+		OutcomeHits: s.outcomeHits, OutcomeMisses: s.outcomeMisses,
 	}
 	st.ClientQueueDepth = s.clientDepth
 	s.mu.Unlock()
@@ -555,6 +588,11 @@ func (s *Service) Stats() ServiceStats {
 		cs := s.layouts.Stats()
 		st.CacheHits, st.CacheMisses, st.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
 		st.CacheEntries, st.CacheBytes, st.CacheMaxBytes = cs.Entries, cs.Bytes, cs.MaxBytes
+	}
+	if s.outcomes != nil {
+		os := s.outcomes.Stats()
+		st.OutcomeEntries, st.OutcomeBytes = os.Entries, os.Bytes
+		st.OutcomeDiskHits, st.OutcomeLoaded, st.OutcomeErrors = os.DiskHits, os.Loaded, os.Errors
 	}
 	if dev := s.pool.Device(); dev != nil {
 		ds := dev.Stats()

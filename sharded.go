@@ -30,7 +30,8 @@ const maxAutoShards = 64
 // (through the service's cache for design references) and splits it; its
 // siblings reuse the memoized result.
 type shardPrep struct {
-	layout *Layout
+	layout *Layout // the job's effective input (base with edits applied)
+	base   *Layout // the pre-edit base; == layout for jobs without edits
 	plan   *shard.Plan
 	bands  []*Layout
 }
@@ -48,6 +49,11 @@ type jobOrigin struct {
 type shardState struct {
 	prep      func() (*shardPrep, error)
 	effective atomic.Int32 // len(plan.Bands) once split; 0 = not yet known
+
+	// eco is the memoized outcome-cache reuse decision (nil when the
+	// service has no outcome cache): which bands may serve cached outcomes
+	// instead of legalizing, and whether fold should store a fresh entry.
+	eco func() (*ecoInfo, error)
 }
 
 // expansion is one submission's flattened job set. Plain jobs pass through
@@ -57,6 +63,7 @@ type shardState struct {
 // results back into one BatchResult per submitted job. Admission control
 // counts the expanded jobs: a K-sharded job occupies K queue slots.
 type expansion struct {
+	svc     *Service
 	jobs    []BatchJob
 	shards  []int                 // per job: 0 = plain path, >= 1 = shard path with K bands
 	pool    []batch.Job[*Outcome] // the flattened pool jobs
@@ -86,6 +93,7 @@ func (s *Service) classFor(job BatchJob, seq int64, j int) sched.Class {
 func (s *Service) expand(jobs []BatchJob) *expansion {
 	seq := s.batchSeq.Add(1)
 	e := &expansion{
+		svc:    s,
 		jobs:   jobs,
 		shards: make([]int, len(jobs)),
 		states: make([]*shardState, len(jobs)),
@@ -96,7 +104,11 @@ func (s *Service) expand(jobs []BatchJob) *expansion {
 		k := s.effectiveShards(job)
 		e.shards[j] = k
 		if k == 0 {
-			e.pool = append(e.pool, s.poolJob(job, class))
+			pj := s.poolJob(job, class)
+			if s.outcomes != nil || job.isEco() {
+				pj = s.plainPoolJob(job, class)
+			}
+			e.pool = append(e.pool, pj)
 			e.classes = append(e.classes, class)
 			e.origin = append(e.origin, jobOrigin{owner: j})
 			continue
@@ -109,6 +121,15 @@ func (s *Service) expand(jobs []BatchJob) *expansion {
 			}
 			return p, err
 		})
+		if s.outcomes != nil {
+			st.eco = sync.OnceValues(func() (*ecoInfo, error) {
+				p, err := st.prep()
+				if err != nil {
+					return nil, err
+				}
+				return s.ecoPrep(job, p)
+			})
+		}
 		e.states[j] = st
 		for b := 0; b < k; b++ {
 			e.pool = append(e.pool, s.bandPoolJob(job, st, b, class, k))
@@ -219,10 +240,12 @@ func (s *Service) effectiveHalo(job BatchJob) int {
 // (design, scale, seed) via the spec's layout key, plus the band count and
 // halo that shape the split. It doubles as the base of the fleet routing
 // key, so the worker a band hashes to is the worker that saw the same
-// decomposition before. Explicit-layout jobs have no stable identity to
-// key on (ok = false).
+// decomposition before. Explicit-layout jobs and eco jobs (whose input is
+// the base perturbed by this request's edits, not the named design) have no
+// stable identity to key on (ok = false); eco band routing hashes the band
+// content instead (see bandPoolJob).
 func shardMemoKey(job BatchJob, k, halo int) (string, bool) {
-	if job.Layout != nil {
+	if job.Layout != nil || job.isEco() {
 		return "", false
 	}
 	spec, ok := gen.ByName(job.Design)
@@ -232,10 +255,10 @@ func shardMemoKey(job BatchJob, k, halo int) (string, bool) {
 	return fmt.Sprintf("%s|bands=%d|halo=%d", spec.CacheKey(job.effectiveScale()), k, halo), true
 }
 
-// splitShards is the uncached decomposition: resolve the layout, plan the
-// bands, split.
+// splitShards is the uncached decomposition: resolve the base, apply any
+// edits, plan the bands, split.
 func (s *Service) splitShards(job BatchJob, k, halo int) (*shardPrep, error) {
-	l, err := job.resolveLayout(s.generate)
+	l, base, err := s.resolveInput(job)
 	if err != nil {
 		return nil, err
 	}
@@ -247,7 +270,7 @@ func (s *Service) splitShards(job BatchJob, k, halo int) (*shardPrep, error) {
 	if err != nil {
 		return nil, fmt.Errorf("flex: shard split: %w", err)
 	}
-	return &shardPrep{layout: l, plan: plan, bands: bands}, nil
+	return &shardPrep{layout: l, base: base, plan: plan, bands: bands}, nil
 }
 
 // bandJob builds the pool closure for one band of a sharded job: wait for
@@ -262,6 +285,9 @@ func bandJob(job BatchJob, st *shardState, b int) batch.Job[*Outcome] {
 		}
 		if b >= len(p.bands) {
 			return nil, nil
+		}
+		if out, ok, err := st.cachedBand(job, b); ok || err != nil {
+			return out, err
 		}
 		return job.legalizeOnDevice(ctx, p.bands[b])
 	}
@@ -381,11 +407,13 @@ func (c *shardCollector) fold(j int) BatchResult {
 		return br
 	}
 	bandLayouts := make([]*model.Layout, len(p.plan.Bands))
+	bandOuts := make([]*Outcome, len(p.plan.Bands))
 	legal := true
 	modeled := 0.0
 	for b := range p.plan.Bands {
 		o := rs[b].Value
 		bandLayouts[b] = o.Layout
+		bandOuts[b] = o
 		if !o.Legal {
 			legal = false
 		}
@@ -403,6 +431,17 @@ func (c *shardCollector) fold(j int) BatchResult {
 	out.Violations = stitched.Check(16)
 	out.Legal = legal && len(out.Violations) == 0
 	out.ModeledSeconds = modeled
+	// Publish the finished run into the outcome cache so a repeat serves
+	// from cache and a future edit against this layout splices its clean
+	// bands (the eco decision memoized any errors away at band time).
+	if st := c.e.states[j]; st.eco != nil {
+		if info, ecoErr := st.eco(); ecoErr == nil {
+			out.InputHash = info.hash
+			if info.store {
+				c.e.svc.storeOutcome(job, info, p, bandOuts, out)
+			}
+		}
+	}
 	br.Outcome = out
 	return br
 }
