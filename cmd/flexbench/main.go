@@ -94,6 +94,7 @@ import (
 	"github.com/flex-eda/flex/internal/benchjson"
 	"github.com/flex-eda/flex/internal/cache"
 	"github.com/flex-eda/flex/internal/experiments"
+	"github.com/flex-eda/flex/internal/obs"
 	"github.com/flex-eda/flex/internal/sched"
 )
 
@@ -144,6 +145,7 @@ func main() {
 	reconfigMS := flag.Int("reconfig-ms", 0, "modeled FPGA reconfiguration delay in ms when consecutive board holders differ (0 = counted, free)")
 	schedJobs := flag.Int("sched-jobs", 8, "jobs per priority class for -exp sched")
 	benchOut := flag.String("bench-out", "", "write the deterministic perf-trajectory record (BENCH_*.json) of the table1/sharded/sched/eco drivers to this path")
+	traceOut := flag.String("trace-out", "", "write one span per driver run as Chrome trace-viewer JSON (chrome://tracing / Perfetto) to this path")
 	flag.Parse()
 
 	policy, err := sched.ParsePolicy(*schedName)
@@ -208,10 +210,23 @@ func main() {
 	// benchjson records.
 	benchable := map[string]bool{"table1": true, "sharded": true, "sched": true, "eco": true}
 	rep := 1
+	// -trace-out records one root span per driver run. Trace files carry
+	// wall clock by design; the stdout tables and BENCH files never do.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+	}
 	runWithStats := func(name string, f func(experiments.Options) error) {
 		var st batch.Stats
 		o := opt
 		o.Stats = &st
+		var drec *obs.Recorder
+		var dstart time.Time
+		if tracer != nil {
+			drec = obs.NewRecorder(name)
+			//flexvet:walltime driver span timing is trace telemetry only
+			dstart = time.Now()
+		}
 		var rec *benchjson.Experiment
 		if bench != nil && rep == 1 && benchable[name] {
 			rec = bench.Experiment(name)
@@ -240,6 +255,11 @@ func main() {
 		if rec != nil {
 			rec.Device = &benchjson.DeviceStats{
 				Acquires: int64(st.DeviceAcquires), Reconfigs: int64(st.DeviceReconfigs)}
+		}
+		if drec != nil {
+			//flexvet:walltime driver span timing is trace telemetry only
+			drec.Record("driver", fmt.Sprintf("repetition %d/%d", rep, *repeat), dstart, time.Now())
+			tracer.Add(drec)
 		}
 	}
 	ran := false
@@ -457,5 +477,21 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "bench-out: wrote %s (%d experiments, %d records)\n",
 			*benchOut, len(bench.Experiments), recorded)
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		err = tracer.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace-out: wrote %s (open in chrome://tracing or Perfetto)\n", *traceOut)
 	}
 }

@@ -74,6 +74,7 @@ import (
 	"time"
 
 	flex "github.com/flex-eda/flex"
+	"github.com/flex-eda/flex/internal/obs"
 )
 
 // parseEngines expands a comma-separated engine list (or "all", which
@@ -227,6 +228,7 @@ func main() {
 	out := flag.String("out", "", "output flexpl file, written from the first selected engine (default: stdout suppressed)")
 	demoCells := flag.Int("demo-cells", 2000, "demo design cell count when no -in")
 	demoDensity := flag.Float64("demo-density", 0.6, "demo design density when no -in")
+	traceOut := flag.String("trace-out", "", "write the run's trace spans as Chrome trace-viewer JSON (chrome://tracing / Perfetto) to this file")
 	flag.Parse()
 
 	engines, names, err := parseEngines(*engineList)
@@ -353,12 +355,22 @@ func main() {
 	// One long-lived service per invocation: the worker pool, the modeled
 	// board pool, and (with -cache-mb) the layout cache that -design jobs
 	// resolve through.
-	svc := flex.NewService(flex.WithWorkers(*workers), flex.WithFPGAs(*fpgas),
-		flex.WithCacheBytes(int64(*cacheMB)<<20),
+	opts := []flex.ServiceOption{
+		flex.WithWorkers(*workers), flex.WithFPGAs(*fpgas),
+		flex.WithCacheBytes(int64(*cacheMB) << 20),
 		flex.WithScheduler(scheduler),
-		flex.WithReconfigCost(time.Duration(*reconfigMS)*time.Millisecond),
-		flex.WithOutcomeCacheBytes(int64(*outcomeCacheMB)<<20),
-		flex.WithCacheDir(*cacheDir))
+		flex.WithReconfigCost(time.Duration(*reconfigMS) * time.Millisecond),
+		flex.WithOutcomeCacheBytes(int64(*outcomeCacheMB) << 20),
+		flex.WithCacheDir(*cacheDir),
+	}
+	// -trace-out turns on span recording; tracing is telemetry only, so
+	// stdout and -out stay byte-identical with or without it (CI-gated).
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		opts = append(opts, flex.WithTracer(tracer))
+	}
+	svc := flex.NewService(opts...)
 	//flexvet:close shutdown close at CLI exit: the pool drained with Submit, so there is no error left to act on
 	defer svc.Close()
 	sum, err := svc.Submit(context.Background(), jobs, flex.SubmitOptions{OnResult: progress, OnShard: shardProgress})
@@ -427,6 +439,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote:           %s\n", *out) //flexvet:stdout the written path is part of the result report
+	}
+	if tracer != nil {
+		// Close explicitly — a deferred close would be skipped by os.Exit
+		// and silently drop write-back errors.
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = tracer.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (open in chrome://tracing or Perfetto)\n", *traceOut)
 	}
 	os.Exit(exit)
 }

@@ -12,6 +12,30 @@
 //	          [-reconfig-ms 0] [-outcome-cache-mb 0] [-cache-dir DIR]
 //	          [-mode single|coordinator|worker] [-peers URL,URL,...]
 //	          [-fleet-timeout-ms 120000] [-fleet-inflight 16] [-fleet-retries 0]
+//	          [-log-level info] [-trace] [-pprof]
+//
+// Observability (all off the result path — enabling any of it never
+// changes the bytes a request streams back):
+//
+//   - GET /metrics serves the service's metric registry in Prometheus text
+//     exposition format: latency histograms for queue wait, device
+//     wait/hold, fleet RPCs and end-to-end job time, plus job/reject/cache
+//     counters and queue-depth/draining/build-info gauges.
+//   - -trace records a per-job span tree (admit, sched-wait, device-wait,
+//     device-hold, per-band legalize, fleet-rpc, stitch, eco-splice); each
+//     NDJSON result line then carries a "trace" ID, and on a coordinator
+//     the worker-side subtree arrives over the X-Flex-Trace header so a
+//     fleet job yields one coherent tree.
+//   - -log-level sets the stderr structured-log threshold (debug, info,
+//     warn, error). Load shedding (429/503) and drain transitions log at
+//     warn with client, queue depth and Retry-After; at debug every job
+//     logs a one-line span summary.
+//   - -pprof mounts net/http/pprof at /debug/pprof/* (off by default:
+//     profiling endpoints are an operator surface, not a tenant one).
+//   - GET /v1/buildinfo reports the module version and VCS revision of the
+//     running binary; workers report the same identity over fleet health.
+//
+// See docs/OBSERVABILITY.md for the span model and the metric inventory.
 //
 // Fleet roles (-mode, default "single"):
 //
@@ -82,6 +106,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -90,6 +115,7 @@ import (
 	"time"
 
 	flex "github.com/flex-eda/flex"
+	"github.com/flex-eda/flex/internal/obs"
 )
 
 func main() {
@@ -113,6 +139,9 @@ func main() {
 	fleetTimeoutMS := flag.Int("fleet-timeout-ms", 120000, "one remote job attempt's end-to-end timeout in ms (coordinator mode)")
 	fleetInflight := flag.Int("fleet-inflight", 16, "concurrently outstanding remote jobs per worker (coordinator mode)")
 	fleetRetries := flag.Int("fleet-retries", 0, "extra attempts after a retryable remote failure, each excluding the failed nodes (0 = every other worker once)")
+	logLevel := flag.String("log-level", "info", "structured-log threshold on stderr (debug, info, warn, error)")
+	trace := flag.Bool("trace", false, "record per-job trace spans; result lines gain a \"trace\" ID (telemetry only, result bytes unchanged)")
+	pprofOn := flag.Bool("pprof", false, "mount profiling endpoints at /debug/pprof/*")
 	flag.Parse()
 
 	scheduler, err := flex.ParseScheduler(*schedName)
@@ -120,7 +149,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "flexserve: invalid -log-level %q (want debug, info, warn, or error)\n", *logLevel)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	reg := obs.NewRegistry()
 	opts := []flex.ServiceOption{
+		flex.WithMetrics(reg),
+		flex.WithTracing(*trace),
+		flex.WithLogger(logger),
 		flex.WithWorkers(*workers),
 		flex.WithFPGAs(*fpgas),
 		flex.WithCacheBytes(int64(*cacheMB) << 20),
@@ -164,8 +203,14 @@ func main() {
 	var fw *flex.FleetWorker
 	if *mode == "worker" {
 		fw = flex.NewFleetWorker(svc)
+		fw.SetLogger(logger)
 	}
-	app := newServer(svc, fw, int64(*maxBodyMB)<<20, *maxScale, *maxShards)
+	app := newServerWith(svc, fw, int64(*maxBodyMB)<<20, *maxScale, *maxShards, obsConfig{
+		metrics: reg,
+		log:     logger,
+		trace:   *trace,
+		pprof:   *pprofOn,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           app,

@@ -1,0 +1,366 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	flex "github.com/flex-eda/flex"
+	"github.com/flex-eda/flex/internal/obs"
+)
+
+// newObsServer builds a flexserve with the full observability surface on:
+// a metric registry wired through the service, tracing, and pprof.
+func newObsServer(t *testing.T) (*httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	svc := flex.NewService(
+		flex.WithWorkers(2), flex.WithCacheBytes(32<<20),
+		flex.WithMetrics(reg), flex.WithTracing(true))
+	ts := httptest.NewServer(newServerWith(svc, nil, 8<<20, 0.05, 8, obsConfig{
+		metrics: reg, trace: true, pprof: true,
+	}))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts, reg
+}
+
+// sample is one parsed exposition line: a metric name, its sorted label
+// signature, and the value.
+type sample struct {
+	name   string
+	labels string
+	value  float64
+}
+
+// parsePrometheus is a strict test-local parser for the text exposition
+// format version 0.0.4: it checks HELP/TYPE structure and returns every
+// sample line. Unparseable lines fail the test — the scrape contract is
+// that a vanilla Prometheus server can ingest /metrics verbatim.
+func parsePrometheus(t *testing.T, body string) []sample {
+	t.Helper()
+	var samples []sample
+	typed := map[string]string{}
+	lineRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) < 4 {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			if f[1] == "TYPE" {
+				typed[f[2]] = f[3]
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := lineRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		labels := strings.Split(m[3], ",")
+		sort.Strings(labels)
+		samples = append(samples, sample{name: m[1], labels: strings.Join(labels, ","), value: v})
+	}
+	if len(typed) == 0 {
+		t.Fatalf("no TYPE comments in exposition:\n%s", body)
+	}
+	return samples
+}
+
+// scrape fetches /metrics and parses it, checking the content type.
+func scrape(t *testing.T, ts *httptest.Server) []sample {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Fatalf("scrape: content type %q, want text exposition 0.0.4", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	return parsePrometheus(t, string(b))
+}
+
+// postJobs submits n design jobs and consumes the NDJSON stream, returning
+// the result lines.
+func postJobs(t *testing.T, ts *httptest.Server, n int) []resultLine {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString(`{"jobs":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"design":"fft_a_md2","scale":0.01,"tag":"j%d"}`, i)
+	}
+	sb.WriteString(`]}`)
+	resp, err := http.Post(ts.URL+"/v1/legalize", "application/json", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("post: status %d: %s", resp.StatusCode, b)
+	}
+	lines, sum := decodeNDJSON(t, bufio.NewScanner(resp.Body))
+	if !sum.Done {
+		t.Fatalf("stream ended without a done summary")
+	}
+	return lines
+}
+
+// TestMetricsScrapeUnderTraffic is the exposition-contract test: scrape
+// /metrics repeatedly while concurrent legalize traffic runs (the -race
+// build makes this a data-race probe too), and assert on every scrape that
+// histogram bucket counts are monotone in le and consistent with +Inf and
+// _count, and across scrapes that counters never go backwards.
+func TestMetricsScrapeUnderTraffic(t *testing.T) {
+	ts, _ := newObsServer(t)
+
+	const clients, rounds, scrapes = 3, 3, 6
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				postJobs(t, ts, 2)
+			}
+		}()
+	}
+	prevCounters := map[string]float64{}
+	counterNames := map[string]bool{
+		"flex_serve_jobs_total":               true,
+		"flex_serve_rejects_total":            true,
+		"flex_device_reconfigs_total":         true,
+		"flex_cache_layout_hits_total":        true,
+		"flex_cache_layout_misses_total":      true,
+		"flex_sched_queue_wait_seconds":       false, // histograms checked separately
+		"flex_serve_sharded_jobs_total":       true,
+		"flex_serve_queue_depth_jobs":         false,
+		"flex_serve_draining_state":           false,
+		"flex_serve_build_info":               false,
+		"flex_device_wait_seconds_count":      true,
+		"flex_device_hold_seconds_count":      true,
+		"flex_serve_job_seconds_count":        true,
+		"flex_sched_queue_wait_seconds_count": true,
+	}
+	for i := 0; i < scrapes; i++ {
+		samples := scrape(t, ts)
+		checkHistograms(t, samples)
+		for _, s := range samples {
+			if !counterNames[s.name] {
+				continue
+			}
+			key := s.name + "{" + s.labels + "}"
+			if prev, ok := prevCounters[key]; ok && s.value < prev {
+				t.Fatalf("counter %s went backwards: %v -> %v", key, prev, s.value)
+			}
+			prevCounters[key] = s.value
+		}
+		if i == scrapes/2 {
+			// Let some traffic land between the early and late scrapes.
+			postJobs(t, ts, 1)
+		}
+	}
+	wg.Wait()
+
+	// After all traffic, the end-to-end histogram must have observed the
+	// jobs and the queue-wait histogram must exist alongside it.
+	final := scrape(t, ts)
+	var jobCount float64
+	seen := map[string]bool{}
+	for _, s := range final {
+		seen[s.name] = true
+		if s.name == "flex_serve_job_seconds_count" {
+			jobCount += s.value
+		}
+	}
+	if jobCount < float64(clients*rounds*2) {
+		t.Fatalf("flex_serve_job_seconds_count = %v, want >= %d", jobCount, clients*rounds*2)
+	}
+	for _, want := range []string{
+		"flex_sched_queue_wait_seconds_bucket",
+		"flex_device_wait_seconds_bucket",
+		"flex_device_hold_seconds_bucket",
+		"flex_serve_job_seconds_bucket",
+		"flex_serve_jobs_total",
+		"flex_serve_queue_depth_jobs",
+		"flex_serve_build_info",
+	} {
+		if !seen[want] {
+			t.Fatalf("metric family %s missing from final scrape", want)
+		}
+	}
+}
+
+// checkHistograms asserts, within one scrape, that every *_bucket series is
+// monotone non-decreasing in le, that the +Inf bucket equals _count, and
+// that _sum is present.
+func checkHistograms(t *testing.T, samples []sample) {
+	t.Helper()
+	type bucket struct {
+		le    float64
+		count float64
+	}
+	buckets := map[string][]bucket{}
+	counts := map[string]float64{}
+	sums := map[string]bool{}
+	for _, s := range samples {
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			base := strings.TrimSuffix(s.name, "_bucket")
+			var le float64
+			rest := make([]string, 0, 4)
+			for _, l := range strings.Split(s.labels, ",") {
+				if v, ok := strings.CutPrefix(l, `le="`); ok {
+					v = strings.TrimSuffix(v, `"`)
+					if v == "+Inf" {
+						le = 1e308
+					} else {
+						f, err := strconv.ParseFloat(v, 64)
+						if err != nil {
+							t.Fatalf("bad le in %s{%s}: %v", s.name, s.labels, err)
+						}
+						le = f
+					}
+					continue
+				}
+				rest = append(rest, l)
+			}
+			key := base + "{" + strings.Join(rest, ",") + "}"
+			buckets[key] = append(buckets[key], bucket{le: le, count: s.value})
+		case strings.HasSuffix(s.name, "_count"):
+			counts[strings.TrimSuffix(s.name, "_count")+"{"+s.labels+"}"] = s.value
+		case strings.HasSuffix(s.name, "_sum"):
+			sums[strings.TrimSuffix(s.name, "_sum")+"{"+s.labels+"}"] = true
+		}
+	}
+	for key, bs := range buckets {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		for i := 1; i < len(bs); i++ {
+			if bs[i].count < bs[i-1].count {
+				t.Fatalf("%s: bucket counts not monotone: le=%v has %v < %v",
+					key, bs[i].le, bs[i].count, bs[i-1].count)
+			}
+		}
+		inf := bs[len(bs)-1]
+		if inf.le < 1e308 {
+			t.Fatalf("%s: no +Inf bucket", key)
+		}
+		if c, ok := counts[key]; !ok || c != inf.count {
+			t.Fatalf("%s: +Inf bucket %v != _count %v", key, inf.count, c)
+		}
+		if !sums[key] {
+			t.Fatalf("%s: missing _sum", key)
+		}
+	}
+	if len(buckets) == 0 {
+		t.Fatalf("no histogram buckets in scrape")
+	}
+}
+
+// TestResultLinesCarryTraceIDs asserts that with tracing on every result
+// line reports a 16-hex trace ID, and that without it the field is absent
+// from the wire format entirely.
+func TestResultLinesCarryTraceIDs(t *testing.T) {
+	ts, _ := newObsServer(t)
+	idRe := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	for _, line := range postJobs(t, ts, 3) {
+		if !idRe.MatchString(line.Trace) {
+			t.Fatalf("result line %d: trace %q, want 16 hex digits", line.Index, line.Trace)
+		}
+	}
+
+	// Tracing off: the JSON must not even contain the key (omitempty), so
+	// observability off is byte-identical to the pre-tracing wire format.
+	plain := newTestServer(t)
+	resp, err := http.Post(plain.URL+"/v1/legalize", "application/json",
+		strings.NewReader(`{"jobs":[{"design":"fft_a_md2","scale":0.01}]}`))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(raw), `"trace"`) {
+		t.Fatalf("tracing off but response contains a trace field:\n%s", raw)
+	}
+}
+
+// TestBuildInfoEndpoint asserts /v1/buildinfo serves the build identity
+// and is mounted even without a metric registry.
+func TestBuildInfoEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/buildinfo")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	// Revision/time are omitted when the binary was built without VCS
+	// stamping (as in `go test`), so only the always-present keys are
+	// asserted here.
+	for _, key := range []string{`"module"`, `"version"`, `"go"`} {
+		if !strings.Contains(string(b), key) {
+			t.Fatalf("buildinfo missing %s:\n%s", key, b)
+		}
+	}
+}
+
+// TestObsEndpointGating asserts that /metrics and /debug/pprof/* are 404
+// on a server built without them and live on one built with them.
+func TestObsEndpointGating(t *testing.T) {
+	plain := newTestServer(t)
+	for _, path := range []string{"/metrics", "/debug/pprof/"} {
+		resp, err := http.Get(plain.URL + path)
+		if err != nil {
+			t.Fatalf("get %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s on plain server: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+	obsTS, _ := newObsServer(t)
+	for _, path := range []string{"/metrics", "/debug/pprof/", "/debug/pprof/goroutine?debug=1"} {
+		resp, err := http.Get(obsTS.URL + path)
+		if err != nil {
+			t.Fatalf("get %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s on obs server: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

@@ -4,13 +4,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	flex "github.com/flex-eda/flex"
+	"github.com/flex-eda/flex/internal/obs"
 )
 
 // jobRequest is one legalization job in a POST /v1/legalize body. Exactly
@@ -96,6 +99,12 @@ type resultLine struct {
 	// handle a later request's "base" field may reference. Present only on
 	// servers with an outcome cache.
 	LayoutHash string `json:"layoutHash,omitempty"`
+	// Trace is the job's 16-hex trace ID, present only when the server runs
+	// with -trace: the same ID the job's spans — local and on fleet workers
+	// — group under, and the handle for correlating this row with worker
+	// logs. Pure telemetry: everything else on the line is byte-identical
+	// with tracing off.
+	Trace string `json:"trace,omitempty"`
 }
 
 // summaryLine closes every NDJSON stream.
@@ -217,6 +226,35 @@ type server struct {
 	knownSet  map[string]bool // valid design names, for up-front 400s
 	draining  atomic.Bool
 	mux       *http.ServeMux
+
+	// Observability (see obsConfig): metrics is nil when /metrics is not
+	// served; log is never nil. All telemetry — request IDs, reject
+	// counters and warn lines never influence response bytes.
+	metrics      *obs.Registry
+	log          *slog.Logger
+	trace        bool
+	reqSeq       atomic.Int64
+	rejectQueue  obs.Counter // flex_serve_rejects_total{reason="queue_full"}
+	rejectClient obs.Counter // flex_serve_rejects_total{reason="client_queue_full"}
+	rejectDrain  obs.Counter // flex_serve_rejects_total{reason="draining"}
+}
+
+// obsConfig is the server's observability wiring. The zero value —
+// the test default and the library-equivalent of running without the
+// observability flags — serves no /metrics, logs through slog.Default,
+// attaches no trace IDs and hides pprof.
+type obsConfig struct {
+	// metrics, when non-nil, is exposed as Prometheus text at GET /metrics
+	// (the same registry the service's WithMetrics feeds).
+	metrics *obs.Registry
+	// log receives the server's structured request logging (rejections at
+	// warn, per-job span summaries at debug). nil = slog.Default().
+	log *slog.Logger
+	// trace stamps each NDJSON result row with its job's trace ID.
+	trace bool
+	// pprof mounts the /debug/pprof/* profiling endpoints (flag-gated:
+	// profiling handlers on a public port are an operator's opt-in).
+	pprof bool
 }
 
 // newServer routes the serving API over svc. maxBody bounds request bodies
@@ -228,6 +266,13 @@ type server struct {
 // control. A non-nil fw mounts the fleet worker protocol (/w/v1/*) next
 // to the normal API — the -mode worker surface.
 func newServer(svc *flex.Service, fw *flex.FleetWorker, maxBody int64, maxScale float64, maxShards int) *server {
+	return newServerWith(svc, fw, maxBody, maxScale, maxShards, obsConfig{})
+}
+
+// newServerWith is newServer plus the observability wiring: the /metrics
+// and /v1/buildinfo endpoints, flag-gated pprof, structured logging, and
+// per-row trace IDs.
+func newServerWith(svc *flex.Service, fw *flex.FleetWorker, maxBody int64, maxScale float64, maxShards int, oc obsConfig) *server {
 	if maxBody <= 0 {
 		maxBody = 64 << 20
 	}
@@ -237,19 +282,62 @@ func newServer(svc *flex.Service, fw *flex.FleetWorker, maxBody int64, maxScale 
 	if maxShards <= 0 {
 		maxShards = 64
 	}
+	log := oc.log
+	if log == nil {
+		log = slog.Default()
+	}
 	s := &server{
 		svc: svc, fleet: fw,
 		maxBody: maxBody, maxScale: maxScale, maxShards: maxShards,
 		workers:  svc.Stats().Workers,
 		knownSet: map[string]bool{},
+		metrics:  oc.metrics,
+		log:      log,
+		trace:    oc.trace,
 	}
 	for _, d := range flex.Designs() {
 		s.knownSet[d] = true
 	}
+	// Server-side metric families (all nil-registry-safe): load-shedding
+	// counters by reason, the draining flag as a gauge, and the build
+	// identity as a constant info gauge.
+	s.rejectQueue = oc.metrics.Counter("flex_serve_rejects_total",
+		"Requests shed at admission, by reason.", obs.Label{Key: "reason", Value: "queue_full"})
+	s.rejectClient = oc.metrics.Counter("flex_serve_rejects_total",
+		"Requests shed at admission, by reason.", obs.Label{Key: "reason", Value: "client_queue_full"})
+	s.rejectDrain = oc.metrics.Counter("flex_serve_rejects_total",
+		"Requests shed at admission, by reason.", obs.Label{Key: "reason", Value: "draining"})
+	oc.metrics.GaugeFunc("flex_serve_draining_state",
+		"1 once graceful shutdown has begun, 0 while serving.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	build := obs.Build()
+	oc.metrics.Gauge("flex_serve_build_info",
+		"Build identity as constant labels; the value is always 1.",
+		obs.Label{Key: "version", Value: build.Version},
+		obs.Label{Key: "revision", Value: build.Revision}).Set(1)
+
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/legalize", s.handleLegalize)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/buildinfo", s.handleBuildInfo)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if oc.metrics != nil {
+		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
+	if oc.pprof {
+		// pprof.Index dispatches /debug/pprof/{heap,goroutine,...} itself;
+		// the named handlers cover the non-lookup endpoints.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	if fw != nil {
 		// The fleet mux's own patterns carry the /w/v1 prefix, so no
 		// StripPrefix: this mount only scopes the subtree.
@@ -268,7 +356,9 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // finish, and a worker's fleet surface starts bouncing jobs with the
 // draining code coordinators retry elsewhere.
 func (s *server) drain() {
-	s.draining.Store(true)
+	if !s.draining.Swap(true) {
+		s.log.Warn("server draining: /healthz now answers 503 while in-flight streams finish")
+	}
 	if s.fleet != nil {
 		s.fleet.Drain()
 	}
@@ -528,6 +618,7 @@ func retryAfterSeconds(st flex.ServiceStats) int {
 // 400. Per-job failures after admission ride in their result lines — the
 // stream already committed to 200 by then.
 func (s *server) handleLegalize(w http.ResponseWriter, r *http.Request) {
+	rid := s.reqSeq.Add(1)
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	jobs, req, err := s.parseJobs(r)
 	if err != nil {
@@ -548,20 +639,35 @@ func (s *server) handleLegalize(w http.ResponseWriter, r *http.Request) {
 		// Per-client shedding: this tenant is over its admission bound
 		// while others keep submitting. Retry-After reflects the tenant's
 		// own backlog.
-		w.Header().Set("Retry-After", strconv.Itoa(s.clientRetryAfterSeconds(clientErr.Client)))
+		retryAfter := s.clientRetryAfterSeconds(clientErr.Client)
+		s.rejectClient.Inc()
+		s.log.Warn("request rejected with 429: per-client queue full",
+			"req", rid, "remote", r.RemoteAddr, "client", clientErr.Client,
+			"clientQueued", s.svc.ClientQueued(clientErr.Client), "retryAfterSeconds", retryAfter)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 		writeJSONError(w, http.StatusTooManyRequests,
 			"client %q overloaded: per-client queue full", clientErr.Client)
 		return
 	case errors.Is(err, flex.ErrOverloaded):
 		// Retry-After scales with how deep the queue currently is — see
 		// retryAfterSeconds for the estimate's meaning.
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.svc.Stats())))
+		st := s.svc.Stats()
+		retryAfter := retryAfterSeconds(st)
+		s.rejectQueue.Inc()
+		s.log.Warn("request rejected with 429: queue full",
+			"req", rid, "remote", r.RemoteAddr, "jobs", len(jobs),
+			"queueDepth", st.QueuedJobs, "retryAfterSeconds", retryAfter)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 		writeJSONError(w, http.StatusTooManyRequests, "service overloaded: queue full")
 		return
 	case errors.Is(err, flex.ErrServiceClosed):
+		s.rejectDrain.Inc()
+		s.log.Warn("request rejected with 503: service shutting down",
+			"req", rid, "remote", r.RemoteAddr, "jobs", len(jobs))
 		writeJSONError(w, http.StatusServiceUnavailable, "service shutting down")
 		return
 	case err != nil:
+		s.log.Warn("request failed with 500", "req", rid, "remote", r.RemoteAddr, "err", err)
 		writeJSONError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
@@ -573,7 +679,12 @@ func (s *server) handleLegalize(w http.ResponseWriter, r *http.Request) {
 	var sum summaryLine
 	for res := range ch {
 		sum.Jobs++
-		line := resultLine{Index: res.Index, Tag: res.Tag}
+		line := resultLine{Index: res.Index, Tag: res.Tag, Trace: res.TraceID}
+		if s.log.Enabled(r.Context(), slog.LevelDebug) {
+			s.log.Debug("job result",
+				"req", rid, "index", res.Index, "tag", res.Tag,
+				"trace", res.TraceID, "err", res.Err, "spans", obs.Summary(res.Spans))
+		}
 		switch {
 		case flex.IsBatchSkipped(res.Err):
 			sum.Skipped++
@@ -622,6 +733,22 @@ func (s *server) handleLegalize(w http.ResponseWriter, r *http.Request) {
 	//flexvet:walltime wallMs is service telemetry on the summary line; layouts and BENCH files never carry it
 	sum.WallMs = ms(time.Since(start))
 	enc.Encode(sum)
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+// Only mounted when the server was built with a registry, so s.metrics is
+// non-nil here.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}
+
+// handleBuildInfo reports the binary's module version and VCS identity so
+// operators can tell which build answered, matching the identity workers
+// report over the fleet Health RPC.
+func (s *server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(obs.Build())
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -9,6 +9,7 @@ import (
 	"github.com/flex-eda/flex/internal/cache"
 	"github.com/flex-eda/flex/internal/eco"
 	"github.com/flex-eda/flex/internal/model"
+	"github.com/flex-eda/flex/internal/obs"
 	"github.com/flex-eda/flex/internal/sched"
 )
 
@@ -402,8 +403,10 @@ func (s *Service) plainPoolJob(job BatchJob, class sched.Class) batch.Job[*Outco
 
 // cachedBand serves band b from the job's reuse decision, or reports
 // (nil, false, nil) when the band must legalize. The cached band layout is
-// cloned and re-measured exactly as cachedOutcome does for whole runs.
-func (st *shardState) cachedBand(job BatchJob, b int) (*Outcome, bool, error) {
+// cloned and re-measured exactly as cachedOutcome does for whole runs. A
+// served band records an "eco-splice" span on the job's trace — the
+// incremental path's footprint in the span tree.
+func (st *shardState) cachedBand(ctx context.Context, job BatchJob, b int) (*Outcome, bool, error) {
 	if st.eco == nil {
 		return nil, false, nil
 	}
@@ -414,6 +417,8 @@ func (st *shardState) cachedBand(job BatchJob, b int) (*Outcome, bool, error) {
 	if info.entry == nil || b >= len(info.reuse) || !info.reuse[b] {
 		return nil, false, nil
 	}
+	_, end := obs.StartSpan(ctx, "eco-splice", fmt.Sprintf("band %d from cached outcome", b))
+	defer end()
 	bo := &info.entry.Bands[b]
 	return cachedOutcome(bo.Layout, bo.Legal, bo.ModeledSeconds, job.Engine), true, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"github.com/flex-eda/flex/internal/fleet"
 	"github.com/flex-eda/flex/internal/gen"
 	"github.com/flex-eda/flex/internal/model"
+	"github.com/flex-eda/flex/internal/obs"
 	"github.com/flex-eda/flex/internal/sched"
 )
 
@@ -205,6 +207,10 @@ func (s *Service) remoteLegalize(ctx context.Context, job BatchJob, layout *Layo
 		time.Duration(res.DeviceWaitMs*float64(time.Millisecond)),
 		time.Duration(res.DeviceHoldMs*float64(time.Millisecond)),
 		res.DeviceReconfigs)
+	// Graft the worker-side span subtree into this job's trace, so a fleet
+	// job yields one coherent tree under one ID (a free no-op without a
+	// recorder on the context).
+	obs.AttachRemote(ctx, res.Spans)
 	out := &Outcome{
 		Engine:         job.Engine,
 		Layout:         l,
@@ -256,7 +262,7 @@ func (s *Service) bandPoolJob(job BatchJob, st *shardState, b int, class sched.C
 		if b >= len(p.bands) {
 			return nil, nil
 		}
-		if out, ok, err := st.cachedBand(job, b); ok || err != nil {
+		if out, ok, err := st.cachedBand(ctx, job, b); ok || err != nil {
 			return out, err
 		}
 		if st.eco != nil {
@@ -294,6 +300,11 @@ func (fw *FleetWorker) Drain() { fw.w.Drain() }
 
 // Draining reports whether Drain has been called.
 func (fw *FleetWorker) Draining() bool { return fw.w.Draining() }
+
+// SetLogger routes the worker protocol's structured logs (job receipt at
+// debug, drain transitions at warn) to log. Nil restores the default
+// logger. Logs go to stderr and never affect result bytes.
+func (fw *FleetWorker) SetLogger(log *slog.Logger) { fw.w.SetLogger(log) }
 
 // serviceExecutor is the fleet.Executor over a Service.
 type serviceExecutor struct {

@@ -34,6 +34,7 @@ import (
 	"github.com/flex-eda/flex/internal/gpu"
 	"github.com/flex-eda/flex/internal/mgl"
 	"github.com/flex-eda/flex/internal/model"
+	"github.com/flex-eda/flex/internal/obs"
 	"github.com/flex-eda/flex/internal/perf"
 	"github.com/flex-eda/flex/internal/sched"
 )
@@ -342,7 +343,24 @@ type BatchResult struct {
 	// the original global placement, and ModeledSeconds is the slowest
 	// band's — the modeled wall of a fully parallel sharded run.
 	Shards []BatchResult
+	// TraceID identifies the job's trace on a tracing service (WithTracing
+	// / WithTracer; flexserve -trace): the 16-hex ID every span of the job
+	// — including spans recorded on remote fleet workers — groups under.
+	// Empty when tracing is off. Telemetry only: tracing never changes
+	// result bytes.
+	TraceID string
+	// Spans is the job's finished span tree (admission, scheduler wait,
+	// device wait/hold, per-band legalization, fleet RPCs, stitch, eco
+	// splices), sorted by start offset within each level. Nil when tracing
+	// is off.
+	Spans []*TraceSpan
 }
+
+// TraceSpan is one node of a job's trace tree: a named wall-clock interval
+// in microseconds since the trace origin, with nested child spans. Spans
+// are pure telemetry — wall time never leaks into modeled seconds or
+// result bytes (see docs/OBSERVABILITY.md).
+type TraceSpan = obs.Span
 
 // BatchSummary is a finished batch: per-job results in submission order
 // plus aggregate statistics.

@@ -313,3 +313,10 @@ func inFleet(pkg *Package) bool {
 	return strings.HasSuffix(pkg.ImportPath, "internal/fleet") ||
 		strings.Contains(pkg.ImportPath, "internal/fleet/")
 }
+
+// inObs matches the observability package (internal/obs): the sanctioned
+// wall-clock sink, exempt from the walltime analyzer wholesale.
+func inObs(pkg *Package) bool {
+	return strings.HasSuffix(pkg.ImportPath, "internal/obs") ||
+		strings.Contains(pkg.ImportPath, "internal/obs/")
+}

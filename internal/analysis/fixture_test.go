@@ -32,6 +32,17 @@ func TestErrcloseFixtures(t *testing.T) {
 	runFixture(t, Errclose, "errclose", "example.com/cmd/errclose")
 }
 
+func TestMetricnameFixtures(t *testing.T) {
+	runFixture(t, Metricname, "metricname", "example.com/internal/metricname")
+}
+
+// TestWalltimeObsExempt runs an unjustified clock-reading fixture under
+// an internal/obs import path: the walltime analyzer must stay silent —
+// the telemetry package is exempt wholesale.
+func TestWalltimeObsExempt(t *testing.T) {
+	runFixture(t, Walltime, "walltimeobs", "example.com/internal/obs")
+}
+
 // scopeSrc violates both cmd-scoped analyzers when compiled as a command.
 const scopeSrc = `package p
 

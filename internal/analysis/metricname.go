@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+)
+
+// metricNameRE is the documented naming convention
+// (docs/OBSERVABILITY.md): flex_<subsystem>_<name>_<unit>, all-lowercase
+// snake case with at least three segments after the flex prefix, ending
+// in a recognized unit.
+var metricNameRE = regexp.MustCompile(
+	`^flex_[a-z][a-z0-9]*(_[a-z][a-z0-9]*)+_(total|seconds|bytes|jobs|workers|state|count|info)$`)
+
+// metricMethods are the obs.Registry registration entry points whose
+// first argument is a metric name.
+var metricMethods = map[string]bool{
+	"Counter": true, "CounterFunc": true,
+	"Gauge": true, "GaugeFunc": true,
+	"Histogram": true,
+}
+
+// Metricname enforces the metric naming convention on every name
+// registered with an obs.Registry: flex_<subsystem>_<name>_<unit>
+// (docs/OBSERVABILITY.md). Names must be string literals — a computed
+// name cannot be checked here and is flagged too — so the scrape
+// vocabulary is greppable from the source.
+var Metricname = &Analyzer{
+	Name:         "metricname",
+	Doc:          "flag metric registrations that break the flex_<subsystem>_<name>_<unit> convention",
+	JustifyToken: "metricname",
+	Run:          runMetricname,
+}
+
+func runMetricname(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !metricMethods[sel.Sel.Name] || !isRegistryRecv(pass.Pkg.Info, sel.X) {
+				return true
+			}
+			if pass.Justified(call) {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name must be a string literal so the flex_<subsystem>_<name>_<unit> convention is checkable")
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !metricNameRE.MatchString(name) {
+				pass.Reportf(lit.Pos(),
+					"metric name %q breaks the flex_<subsystem>_<name>_<unit> convention (unit one of total, seconds, bytes, jobs, workers, state, count, info)",
+					name)
+			}
+			return true
+		})
+	}
+}
+
+// isRegistryRecv reports whether expr's static type is (a pointer to) a
+// named type called Registry — the obs metrics registry, matched by name
+// so the analyzer's fixtures need no real obs import.
+func isRegistryRecv(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}

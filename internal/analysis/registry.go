@@ -10,5 +10,6 @@ func All() []*Analyzer {
 		Devicetoken,
 		Streamdiscipline,
 		Errclose,
+		Metricname,
 	}
 }

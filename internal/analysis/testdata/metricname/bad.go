@@ -1,0 +1,40 @@
+// Package fixture exercises the metricname analyzer: registrations that
+// break the flex_<subsystem>_<name>_<unit> convention, a computed name,
+// and a stale justification.
+package fixture
+
+// Label mimics obs.Label.
+type Label struct{ Key, Value string }
+
+// Registry mimics obs.Registry — the analyzer matches the receiver type
+// by name, so the fixture needs no real obs import.
+type Registry struct{}
+
+// Counter mimics the registry's counter registration.
+func (r *Registry) Counter(name, help string, labels ...Label) int { return 0 }
+
+// Gauge mimics the registry's gauge registration.
+func (r *Registry) Gauge(name, help string, labels ...Label) int { return 0 }
+
+// Histogram mimics the registry's histogram registration.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) int { return 0 }
+
+// GaugeFunc mimics the registry's sampled-gauge registration.
+func (r *Registry) GaugeFunc(name, help string, f func() float64, labels ...Label) {}
+
+// Bad registers names that break the convention.
+func Bad(r *Registry) {
+	r.Counter("jobs_total", "no flex prefix")                // want "breaks the flex_<subsystem>_<name>_<unit> convention"
+	r.Counter("flex_jobs_total", "missing a name segment")   // want "breaks the flex_<subsystem>_<name>_<unit> convention"
+	r.Gauge("flex_serve_queue_depth", "no unit suffix")      // want "breaks the flex_<subsystem>_<name>_<unit> convention"
+	r.Histogram("flex_Serve_job_seconds", "upper case", nil) // want "breaks the flex_<subsystem>_<name>_<unit> convention"
+	r.GaugeFunc("flex_serve_wall_ms", "wrong unit", nil)     // want "breaks the flex_<subsystem>_<name>_<unit> convention"
+	name := "flex_serve_jobs_total"
+	r.Counter(name, "computed names are uncheckable") // want "metric name must be a string literal"
+}
+
+// Stale carries a justification with nothing to justify.
+func Stale() int {
+	//flexvet:metricname stale reason, nothing below registers a metric // want "unused //flexvet:metricname justification"
+	return 0
+}

@@ -1,0 +1,25 @@
+package fixture
+
+// Good registers names that follow the convention, plus one justified
+// exception.
+func Good(r *Registry) {
+	r.Counter("flex_serve_jobs_total", "completed jobs")
+	r.Counter("flex_fleet_rpc_total", "rpc attempts", Label{"node", "n1"})
+	r.Gauge("flex_serve_queue_depth_jobs", "queue occupancy")
+	r.Histogram("flex_sched_queue_wait_seconds", "queue wait", []float64{0.1, 1})
+	r.GaugeFunc("flex_serve_build_info", "build identity", func() float64 { return 1 })
+	//flexvet:metricname legacy dashboard name, grandfathered until the boards migrate
+	r.Counter("legacy_requests", "grandfathered")
+}
+
+// NotARegistry proves the analyzer keys on the Registry type, not on
+// method names alone.
+type NotARegistry struct{}
+
+// Counter shares the method name but not the receiver type.
+func (n *NotARegistry) Counter(name, help string) int { return 0 }
+
+// Decoy calls an unrelated Counter with a non-conforming name.
+func Decoy(n *NotARegistry) {
+	n.Counter("whatever", "not a metric registry")
+}

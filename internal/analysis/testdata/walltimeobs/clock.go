@@ -1,0 +1,13 @@
+// Package fixture proves the walltime exemption for internal/obs: this
+// file reads the wall clock with no justification anywhere, and the
+// harness runs it under an internal/obs import path expecting zero
+// diagnostics — the telemetry package is the sanctioned clock sink.
+package fixture
+
+import "time"
+
+// SpanClock reads the clock the way a span recorder does.
+func SpanClock() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

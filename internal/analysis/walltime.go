@@ -13,6 +13,9 @@ import (
 // feed stderr progress/scheduling lines and the pool's wall measurements.
 // Each sanctioned site carries //flexvet:walltime <reason>, which doubles
 // as the human-readable registry of where wall time is allowed to exist.
+// internal/obs is exempt wholesale: it is the telemetry sink itself —
+// span timestamps and metrics are wall time by definition and never feed
+// results — so per-site annotations there would be pure noise.
 var Walltime = &Analyzer{
 	Name:         "walltime",
 	Doc:          "flag time.Now/Since/Until outside justified wall-reporting sites",
@@ -21,6 +24,9 @@ var Walltime = &Analyzer{
 }
 
 func runWalltime(pass *Pass) {
+	if inObs(pass.Pkg) {
+		return
+	}
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/flex-eda/flex/internal/obs"
 	"github.com/flex-eda/flex/internal/sched"
 )
 
@@ -226,6 +227,7 @@ func AcquireDevice(ctx context.Context) (release func(), err error) {
 	start := time.Now()
 	g, err := d.sem.Acquire(ctx, class)
 	wait := time.Since(start)
+	obs.Record(ctx, "device-wait", "", start, start.Add(wait))
 	if err != nil {
 		// The aborted wait was still time spent queued for the board.
 		if usage != nil {
@@ -284,6 +286,10 @@ func AcquireDevice(ctx context.Context) (release func(), err error) {
 			hold := time.Since(heldAt)
 			if usage != nil {
 				usage.hold += hold
+			}
+			obs.Record(ctx, "device-hold", "", heldAt, heldAt.Add(hold))
+			if reconfigTime > 0 {
+				obs.Record(ctx, "device-reconfig", "", heldAt, heldAt.Add(reconfigTime))
 			}
 			d.note(g.Contended, g.Reconfig, wait, hold, reconfigTime)
 			d.sem.Release(g.Board, class)

@@ -350,6 +350,7 @@ func streamOn[T any](ctx context.Context, p *Pool, jobs []Job[T], classes []sche
 						jctx = context.WithValue(jctx, usageKey{}, usage)
 					}
 					start := time.Now() //flexvet:walltime per-job wall for Result.Wall, reported on stderr only
+					jctx = withSchedInfo(jctx, queued, start)
 					v, err := jobs[i](jctx)
 					if err != nil && failFast {
 						cancel()

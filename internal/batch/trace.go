@@ -1,0 +1,31 @@
+package batch
+
+import (
+	"context"
+	"time"
+)
+
+// schedInfoKey carries the job's scheduling timeline through the job
+// context: how long it queued and when a worker picked it up. The
+// service's trace layer turns this into a sched-wait span and a queue-
+// wait histogram sample; it never feeds results.
+type schedInfoKey struct{}
+
+type schedInfo struct {
+	queued time.Duration
+	start  time.Time
+}
+
+// withSchedInfo stamps the job's queue wait and pickup time on its
+// context; the pool does this right before invoking the job.
+func withSchedInfo(ctx context.Context, queued time.Duration, start time.Time) context.Context {
+	return context.WithValue(ctx, schedInfoKey{}, schedInfo{queued: queued, start: start})
+}
+
+// SchedInfo returns the running job's queue wait and the wall time a
+// worker picked it up, when called from inside a pool job. Both are
+// telemetry — span and histogram inputs only, never result bytes.
+func SchedInfo(ctx context.Context) (queued time.Duration, start time.Time, ok bool) {
+	si, ok := ctx.Value(schedInfoKey{}).(schedInfo)
+	return si.queued, si.start, ok
+}

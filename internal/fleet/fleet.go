@@ -32,7 +32,15 @@ import (
 	"context"
 	"errors"
 	"time"
+
+	"github.com/flex-eda/flex/internal/obs"
 )
+
+// TraceHeader carries the coordinator's trace ID on POST /w/v1/job, so a
+// fleet job's spans — recorded on whichever worker ran it — join one
+// coherent tree under one ID. Workers log the ID on arrival, which is
+// how cross-wire trace continuity is asserted in CI.
+const TraceHeader = "X-Flex-Trace"
 
 // Job is one unit of remote work: a serialized band (Layout as flexpl
 // text) or a whole-design reference (Design + Scale) the worker generates
@@ -85,6 +93,11 @@ type Result struct {
 	DeviceWaitMs    float64 `json:"deviceWaitMs,omitempty"`
 	DeviceHoldMs    float64 `json:"deviceHoldMs,omitempty"`
 	DeviceReconfigs int     `json:"deviceReconfigs,omitempty"`
+	// Spans is the worker-side trace subtree for this job, present only
+	// when the request carried a TraceHeader. Pure telemetry: the
+	// coordinator grafts it into the caller's trace and never lets it
+	// near result bytes.
+	Spans []*obs.Span `json:"spans,omitempty"`
 }
 
 // Health is the GET /w/v1/health body: the worker's load and draining
@@ -103,6 +116,11 @@ type Health struct {
 	DeviceHoldMs    float64 `json:"deviceHoldMs"`
 	DeviceAcquires  int     `json:"deviceAcquires"`
 	DeviceReconfigs int     `json:"deviceReconfigs"`
+	// Version and Revision are the worker binary's build identity
+	// (module version and VCS commit), so mixed-version fleets are
+	// diagnosable from the coordinator's probes.
+	Version  string `json:"version,omitempty"`
+	Revision string `json:"revision,omitempty"`
 }
 
 // Load is the Executor's live-load snapshot behind Health.

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/flex-eda/flex/internal/obs"
 	"github.com/flex-eda/flex/internal/sched"
 )
 
@@ -55,6 +56,10 @@ type RouterConfig struct {
 	ProbeInterval time.Duration
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
+	// Metrics, when set, receives per-attempt RPC telemetry: the
+	// flex_fleet_rpc_seconds latency histogram and the
+	// flex_fleet_rpc_total attempt counter, both labeled by node.
+	Metrics *obs.Registry
 }
 
 // Router is the coordinator's view of the fleet: it owns the consistent-
@@ -83,6 +88,10 @@ type node struct {
 	state  atomic.Int32
 	routed atomic.Int64 // successful jobs
 	failed atomic.Int64 // failed attempts
+
+	// Per-node RPC telemetry (nil-safe no-ops without a registry).
+	rpcSeconds obs.Histogram
+	rpcTotal   obs.Counter
 }
 
 // NewRouter builds a router over cfg.Workers and starts its health
@@ -111,7 +120,14 @@ func NewRouter(cfg RouterConfig) *Router {
 		retries: cfg.Retries,
 	}
 	for _, addr := range cfg.Workers {
-		r.nodes[addr] = &node{addr: addr, sem: make(chan struct{}, cfg.Inflight)}
+		r.nodes[addr] = &node{
+			addr: addr, sem: make(chan struct{}, cfg.Inflight),
+			rpcSeconds: cfg.Metrics.Histogram("flex_fleet_rpc_seconds",
+				"Fleet job RPC round-trip latency per attempt.",
+				obs.LatencyBuckets, obs.Label{Key: "node", Value: addr}),
+			rpcTotal: cfg.Metrics.Counter("flex_fleet_rpc_total",
+				"Fleet job RPC attempts.", obs.Label{Key: "node", Value: addr}),
+		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	r.probeCancel = cancel
@@ -205,14 +221,26 @@ func (r *Router) attempt(ctx context.Context, n *node, body []byte) (*Result, bo
 		return nil, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if rec := obs.RecorderFrom(ctx); rec != nil {
+		// Propagate the trace across the wire: the worker opens a linked
+		// recorder under this ID and ships its spans back in the result.
+		req.Header.Set(TraceHeader, rec.ID())
+	}
 
 	// Band RTT: wall time of the remote call, reported in fleet stats as
-	// the wall half of the modeled-vs-wall split (BENCHMARKING.md).
+	// the wall half of the modeled-vs-wall split (BENCHMARKING.md), plus
+	// the per-attempt fleet-rpc span and RPC latency histogram.
 	//flexvet:walltime band RTT telemetry for fleet stats
 	start := time.Now()
 	resp, err := r.client.Do(req)
-	//flexvet:walltime band RTT telemetry for fleet stats
-	defer func() { r.remoteWallNs.Add(int64(time.Since(start))) }()
+	defer func() {
+		//flexvet:walltime band RTT telemetry for fleet stats and RPC spans/metrics
+		rtt := time.Since(start)
+		r.remoteWallNs.Add(int64(rtt))
+		obs.Record(ctx, "fleet-rpc", n.addr, start, start.Add(rtt))
+		n.rpcSeconds.Observe(rtt.Seconds())
+		n.rpcTotal.Inc()
+	}()
 	if err != nil {
 		n.failed.Add(1)
 		if ctx.Err() != nil {

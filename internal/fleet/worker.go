@@ -4,10 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
 	"sync/atomic"
 	"time"
 
+	"github.com/flex-eda/flex/internal/obs"
 	"github.com/flex-eda/flex/internal/sched"
 )
 
@@ -20,12 +22,22 @@ const maxJobBytes = 256 << 20
 // draining flag and translates between HTTP and an Executor.
 type Worker struct {
 	exec     Executor
+	log      *slog.Logger
 	draining atomic.Bool
 }
 
 // NewWorker wraps exec in the wire protocol.
 func NewWorker(exec Executor) *Worker {
-	return &Worker{exec: exec}
+	return &Worker{exec: exec, log: slog.Default()}
+}
+
+// SetLogger routes the worker's request logging (trace arrivals at
+// debug, drain transitions at warn) to log; nil restores the default.
+func (w *Worker) SetLogger(log *slog.Logger) {
+	if log == nil {
+		log = slog.Default()
+	}
+	w.log = log
 }
 
 // Drain flips the worker into draining: /w/v1/health and /w/v1/job both
@@ -33,7 +45,9 @@ func NewWorker(exec Executor) *Worker {
 // in-flight rejections elsewhere. Jobs already executing are unaffected —
 // the caller decides how long to let them finish.
 func (w *Worker) Drain() {
-	w.draining.Store(true)
+	if !w.draining.Swap(true) {
+		w.log.Warn("worker draining: rejecting new jobs with 503")
+	}
 }
 
 // Draining reports whether Drain has been called.
@@ -53,6 +67,7 @@ func (w *Worker) Handler() http.Handler {
 
 func (w *Worker) handleHealth(rw http.ResponseWriter, req *http.Request) {
 	load := w.exec.Load()
+	build := obs.Build()
 	h := Health{
 		Status:          "ok",
 		QueuedJobs:      load.QueuedJobs,
@@ -61,6 +76,8 @@ func (w *Worker) handleHealth(rw http.ResponseWriter, req *http.Request) {
 		DeviceHoldMs:    float64(load.DeviceHold) / float64(time.Millisecond),
 		DeviceAcquires:  load.DeviceAcquires,
 		DeviceReconfigs: load.DeviceReconfigs,
+		Version:         build.Version,
+		Revision:        build.Revision,
 	}
 	status := http.StatusOK
 	if w.draining.Load() {
@@ -94,11 +111,26 @@ func (w *Worker) handleJob(rw http.ResponseWriter, req *http.Request) {
 		defer cancel()
 	}
 
+	// A propagated trace: open a linked recorder under the coordinator's
+	// ID so this job's worker-side spans ship back inside the result.
+	// The arrival log line is the wire half of trace continuity — the
+	// same ID appears in the coordinator's result rows.
+	var rec *obs.Recorder
+	if id := req.Header.Get(TraceHeader); id != "" {
+		rec = obs.NewLinkedRecorder(id, "worker-job")
+		ctx = obs.WithRecorder(ctx, rec)
+		w.log.Debug("fleet job received", "trace", id, "key", job.Key,
+			"engine", job.Engine, "client", job.Client)
+	}
+
 	res, err := w.exec.Execute(ctx, job)
 	if err != nil {
 		status, code := classifyExecErr(ctx, err)
 		writeError(rw, status, code, err.Error())
 		return
+	}
+	if rec != nil {
+		res.Spans = rec.Spans()
 	}
 	rw.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(rw).Encode(res) //nolint:errcheck // best-effort: client gone

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo is the binary's identity: what GET /v1/buildinfo serves and
+// what a fleet worker reports in its health payload, so mixed-version
+// fleets are diagnosable from the coordinator.
+type BuildInfo struct {
+	// Module is the main module path; Version its module version
+	// ("(devel)" for a plain source build).
+	Module  string `json:"module"`
+	Version string `json:"version"`
+	// Revision and Time are the VCS commit stamped at build time, when
+	// available; Dirty reports uncommitted changes in the build tree.
+	Revision string `json:"revision,omitempty"`
+	Time     string `json:"time,omitempty"`
+	Dirty    bool   `json:"dirty,omitempty"`
+	// Go is the toolchain version the binary was built with.
+	Go string `json:"go"`
+}
+
+// Build returns the running binary's build identity, read once from the
+// embedded debug.BuildInfo.
+var Build = sync.OnceValue(func() BuildInfo {
+	info := BuildInfo{Module: "unknown", Version: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	info.Version = bi.Main.Version
+	info.Go = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+})

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-viewer "traceEvents"
+// array (about://tracing, ui.perfetto.dev): complete events (ph "X")
+// with microsecond timestamps, plus one metadata event naming each
+// trace's lane.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the collected traces as Chrome trace-viewer
+// JSON: one lane (tid) per trace, every span a complete event at its
+// recorder-relative microsecond offset.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := []chromeEvent{}
+	for i, tr := range t.Traces() {
+		tid := i + 1
+		events = append(events, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   tid,
+			Args:  map[string]any{"name": tr.Name + " [" + tr.ID + "]"},
+		})
+		events = appendChromeSpans(events, tr.Spans, tid)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+func appendChromeSpans(events []chromeEvent, spans []*Span, tid int) []chromeEvent {
+	for _, sp := range spans {
+		ev := chromeEvent{
+			Name:  sp.Name,
+			Cat:   "flex",
+			Phase: "X",
+			TS:    sp.StartUS,
+			Dur:   sp.DurUS,
+			PID:   1,
+			TID:   tid,
+		}
+		if ev.Dur <= 0 {
+			ev.Dur = 1 // zero-width events vanish in the viewer
+		}
+		if sp.Detail != "" {
+			ev.Args = map[string]any{"detail": sp.Detail}
+		}
+		events = append(events, ev)
+		events = appendChromeSpans(events, sp.Spans, tid)
+	}
+	return events
+}

@@ -17,6 +17,13 @@
 // of their inputs, so reordering the queue moves only wall-clock and wait
 // statistics; for a fixed job set every policy yields byte-identical
 // results.
+//
+// Observability rides the same boundary: the pool timestamps a job's queue
+// push and pop (batch.SchedInfo), and internal/obs turns that pair into a
+// sched-wait trace span and the flex_sched_queue_wait_seconds histogram.
+// The policies themselves read the clock only for aging and deadlines, and
+// tracing never influences dequeue order — enabling it cannot reorder a
+// run, let alone change its bytes.
 package sched
 
 import (

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"github.com/flex-eda/flex/internal/cache"
 	"github.com/flex-eda/flex/internal/fleet"
 	"github.com/flex-eda/flex/internal/gen"
+	"github.com/flex-eda/flex/internal/obs"
 	"github.com/flex-eda/flex/internal/sched"
 )
 
@@ -114,6 +116,12 @@ type serviceConfig struct {
 	fleetTimeout  time.Duration
 	fleetInflight int
 	fleetRetries  int
+
+	// Observability (see WithMetrics and friends below).
+	metrics *obs.Registry
+	tracer  *obs.Tracer
+	tracing bool
+	logger  *slog.Logger
 }
 
 // ServiceOption configures NewService.
@@ -223,6 +231,47 @@ func WithReconfigCost(d time.Duration) ServiceOption {
 	return func(c *serviceConfig) { c.reconfigCost = d }
 }
 
+// WithMetrics routes the service's operational metrics into reg: latency
+// histograms for scheduler queue wait, modeled device wait/hold, fleet RPC
+// round trips and end-to-end job time, plus job/reject counters and live
+// queue-depth gauges — the families flexserve's GET /metrics exposes as
+// Prometheus text (names follow flex_<subsystem>_<name>_<unit>; see
+// docs/OBSERVABILITY.md). Metrics are pure telemetry: observation happens
+// on the result path after bytes are final, so a metered service's output
+// is byte-identical to an unmetered one. nil (the default) disables
+// metering at zero cost.
+func WithMetrics(reg *obs.Registry) ServiceOption {
+	return func(c *serviceConfig) { c.metrics = reg }
+}
+
+// WithTracer turns on per-job tracing and accumulates every finished job's
+// trace in t, for export as Chrome trace-viewer JSON (flexlg -trace-out).
+// Implies WithTracing(true).
+func WithTracer(t *obs.Tracer) ServiceOption {
+	return func(c *serviceConfig) {
+		c.tracer = t
+		c.tracing = t != nil
+	}
+}
+
+// WithTracing toggles per-job trace spans without accumulating traces: each
+// BatchResult then carries its TraceID and span tree (admission, scheduler
+// wait, device wait/hold, per-band legalization, fleet RPCs, stitch), the
+// form flexserve -trace serves on result rows. Off by default; tracing
+// never changes result bytes — spans are wall-clock telemetry beside the
+// deterministic outputs.
+func WithTracing(on bool) ServiceOption {
+	return func(c *serviceConfig) { c.tracing = on }
+}
+
+// WithLogger routes the service's structured request logging to log: one
+// debug line per finished job (index, trace ID, span summary) — the
+// per-job narrative behind flexserve -log-level debug. nil (the default)
+// disables service-side logging.
+func WithLogger(log *slog.Logger) ServiceOption {
+	return func(c *serviceConfig) { c.logger = log }
+}
+
 // Service is a long-lived legalization service: it owns the worker pool,
 // the modeled FPGA board pool, and the layout cache that a sequence of
 // batch submissions — a CLI run, an HTTP server's traffic — share. Where
@@ -260,6 +309,23 @@ type Service struct {
 	// router is non-nil on a fleet coordinator (WithWorkersList): pool
 	// jobs then execute remotely instead of running a local engine.
 	router *fleet.Router
+
+	// Observability: nil-safe instruments (see WithMetrics / WithTracer /
+	// WithTracing / WithLogger). All strictly telemetry — nothing here may
+	// influence result bytes.
+	metrics       *obs.Registry
+	tracer        *obs.Tracer
+	tracing       bool
+	logger        *slog.Logger
+	queueWaitSec  obs.Histogram
+	deviceWaitSec obs.Histogram
+	deviceHoldSec obs.Histogram
+	jobSeconds    obs.Histogram
+	jobsOK        obs.Counter
+	jobsErr       obs.Counter
+	jobsSkipped   obs.Counter
+	shardedJobs   obs.Counter
+	reconfigsTot  obs.Counter
 
 	// outcomes is non-nil when the outcome cache is on
 	// (WithOutcomeCacheBytes / WithCacheDir): finished legalizations are
@@ -312,15 +378,92 @@ func NewService(opts ...ServiceOption) *Service {
 		s.layouts = cache.New(cfg.cacheBytes)
 	}
 	s.outcomes = newOutcomeCache(&cfg)
+	s.instrument(&cfg)
 	if len(cfg.fleetWorkers) > 0 {
 		s.router = fleet.NewRouter(fleet.RouterConfig{
 			Workers:  cfg.fleetWorkers,
 			Timeout:  cfg.fleetTimeout,
 			Inflight: cfg.fleetInflight,
 			Retries:  cfg.fleetRetries,
+			Metrics:  cfg.metrics,
 		})
 	}
 	return s
+}
+
+// instrument registers the service's metric families. Every obs.Registry
+// method is nil-safe, so an unmetered service gets inert zero-value
+// instruments and pays nothing on the result path.
+func (s *Service) instrument(cfg *serviceConfig) {
+	s.metrics = cfg.metrics
+	s.tracer = cfg.tracer
+	s.tracing = cfg.tracing
+	s.logger = cfg.logger
+	m := cfg.metrics
+	s.queueWaitSec = m.Histogram("flex_sched_queue_wait_seconds",
+		"Time jobs queued for a worker goroutine under the scheduler.", obs.LatencyBuckets)
+	s.deviceWaitSec = m.Histogram("flex_device_wait_seconds",
+		"Time jobs queued for a modeled FPGA board.", obs.LatencyBuckets)
+	s.deviceHoldSec = m.Histogram("flex_device_hold_seconds",
+		"Time jobs occupied a modeled FPGA board (reconfiguration included).", obs.LatencyBuckets)
+	s.jobSeconds = m.Histogram("flex_serve_job_seconds",
+		"End-to-end wall time of one job, admission to result.", obs.LatencyBuckets)
+	s.jobsOK = m.Counter("flex_serve_jobs_total",
+		"Jobs finished, by status.", obs.Label{Key: "status", Value: "ok"})
+	s.jobsErr = m.Counter("flex_serve_jobs_total",
+		"Jobs finished, by status.", obs.Label{Key: "status", Value: "error"})
+	s.jobsSkipped = m.Counter("flex_serve_jobs_total",
+		"Jobs finished, by status.", obs.Label{Key: "status", Value: "skipped"})
+	s.shardedJobs = m.Counter("flex_serve_sharded_jobs_total",
+		"Jobs that took the row-band shard path.")
+	s.reconfigsTot = m.Counter("flex_device_reconfigs_total",
+		"Modeled board reconfigurations charged to finished jobs.")
+	m.GaugeFunc("flex_serve_queue_depth_jobs",
+		"Admitted and undelivered pool jobs right now (each band of a sharded job counted separately).",
+		func() float64 { return float64(s.pool.Admitted()) })
+	if s.layouts != nil {
+		m.CounterFunc("flex_cache_layout_hits_total",
+			"Layout cache lookups that skipped regeneration.",
+			func() float64 { return float64(s.layouts.Stats().Hits) })
+		m.CounterFunc("flex_cache_layout_misses_total",
+			"Layout cache lookups that generated anew.",
+			func() float64 { return float64(s.layouts.Stats().Misses) })
+		m.GaugeFunc("flex_cache_layout_bytes",
+			"Resident bytes in the layout cache.",
+			func() float64 { return float64(s.layouts.Stats().Bytes) })
+	}
+}
+
+// observeResult feeds one finished job into the metrics registry and the
+// debug log — the single per-result observability hook on the emit path,
+// after the result's bytes are final. Wall-clock latencies land in
+// histograms and log lines only; nothing here touches the result.
+func (s *Service) observeResult(br BatchResult) {
+	switch {
+	case IsBatchSkipped(br.Err):
+		s.jobsSkipped.Inc()
+	case br.Err != nil:
+		s.jobsErr.Inc()
+	default:
+		s.jobsOK.Inc()
+	}
+	s.queueWaitSec.Observe(br.SchedWait.Seconds())
+	if br.DeviceWait > 0 || br.DeviceHold > 0 {
+		s.deviceWaitSec.Observe(br.DeviceWait.Seconds())
+		s.deviceHoldSec.Observe(br.DeviceHold.Seconds())
+	}
+	s.jobSeconds.Observe(br.Wall.Seconds())
+	if br.DeviceReconfigs > 0 {
+		s.reconfigsTot.Add(float64(br.DeviceReconfigs))
+	}
+	if len(br.Shards) > 0 {
+		s.shardedJobs.Inc()
+	}
+	if s.logger != nil && s.logger.Enabled(context.Background(), slog.LevelDebug) {
+		s.logger.Debug("job finished",
+			"index", br.Index, "tag", br.Tag, "trace", br.TraceID,
+			"err", br.Err, "wall", br.Wall, "spans", obs.Summary(br.Spans))
+	}
 }
 
 // SubmitOptions tunes one submission; the zero value is the default.
@@ -350,6 +493,7 @@ type SubmitOptions struct {
 func (s *Service) Submit(ctx context.Context, jobs []BatchJob, opt SubmitOptions) (*BatchSummary, error) {
 	e := s.expand(jobs)
 	col := newShardCollector(e, opt.OnShard, func(br BatchResult) {
+		s.observeResult(br)
 		if opt.OnResult != nil {
 			opt.OnResult(br)
 		}
@@ -416,6 +560,7 @@ func (s *Service) stream(ctx context.Context, jobs []BatchJob, opt SubmitOptions
 		defer close(out)
 		var errs, skipped int
 		col := newShardCollector(e, opt.OnShard, func(br BatchResult) {
+			s.observeResult(br)
 			switch {
 			case IsBatchSkipped(br.Err):
 				skipped++

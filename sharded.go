@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/flex-eda/flex/internal/batch"
 	"github.com/flex-eda/flex/internal/gen"
 	"github.com/flex-eda/flex/internal/model"
+	"github.com/flex-eda/flex/internal/obs"
 	"github.com/flex-eda/flex/internal/sched"
 	"github.com/flex-eda/flex/internal/shard"
 )
@@ -70,6 +72,7 @@ type expansion struct {
 	classes []sched.Class         // per pool job; bands share the owner's class
 	origin  []jobOrigin           // pool index -> submitted job
 	states  []*shardState         // per job; nil for plain jobs
+	recs    []*obs.Recorder       // per job; non-nil only when the service traces
 }
 
 // classFor stamps one submitted job's scheduling class: priority, deadline
@@ -97,6 +100,12 @@ func (s *Service) expand(jobs []BatchJob) *expansion {
 		jobs:   jobs,
 		shards: make([]int, len(jobs)),
 		states: make([]*shardState, len(jobs)),
+		recs:   make([]*obs.Recorder, len(jobs)),
+	}
+	if s.tracing {
+		for j := range jobs {
+			e.recs[j] = obs.NewRecorder(traceName(jobs[j]))
+		}
 	}
 	for j := range jobs {
 		job := jobs[j]
@@ -108,7 +117,7 @@ func (s *Service) expand(jobs []BatchJob) *expansion {
 			if s.outcomes != nil || job.isEco() {
 				pj = s.plainPoolJob(job, class)
 			}
-			e.pool = append(e.pool, pj)
+			e.pool = append(e.pool, e.traceJob(j, 0, 0, pj))
 			e.classes = append(e.classes, class)
 			e.origin = append(e.origin, jobOrigin{owner: j})
 			continue
@@ -132,12 +141,64 @@ func (s *Service) expand(jobs []BatchJob) *expansion {
 		}
 		e.states[j] = st
 		for b := 0; b < k; b++ {
-			e.pool = append(e.pool, s.bandPoolJob(job, st, b, class, k))
+			e.pool = append(e.pool, e.traceJob(j, b, k, s.bandPoolJob(job, st, b, class, k)))
 			e.classes = append(e.classes, class)
 			e.origin = append(e.origin, jobOrigin{owner: j, band: b})
 		}
 	}
 	return e
+}
+
+// traceName labels a job's trace: the caller's tag, else the design
+// reference, else a generic label for explicit layouts.
+func traceName(job BatchJob) string {
+	switch {
+	case job.Tag != "":
+		return job.Tag
+	case job.Design != "":
+		return job.Design
+	}
+	return "job"
+}
+
+// traceDetail annotates a job's legalize span with what ran.
+func traceDetail(job BatchJob) string {
+	if job.Design != "" {
+		return fmt.Sprintf("%s@%g %s", job.Design, job.effectiveScale(), job.Engine)
+	}
+	return job.Engine.String()
+}
+
+// traceJob wraps one pool closure with its trace spans: install the job's
+// recorder (a tracing front door allocates one per job; a fleet worker's
+// jobs arrive with a linked recorder already on the context), mark
+// admission, record the scheduler queue wait, and nest the engine phase
+// under a "legalize" (or per-band) span. Without a recorder from either
+// source the closure runs untouched — observability off is a free no-op.
+// Spans carry wall-clock telemetry only and never change what the wrapped
+// job computes.
+func (e *expansion) traceJob(j, band, k int, pj batch.Job[*Outcome]) batch.Job[*Outcome] {
+	return func(ctx context.Context) (*Outcome, error) {
+		if rec := e.recs[j]; rec != nil {
+			ctx = obs.WithRecorder(ctx, rec)
+		}
+		rec := obs.RecorderFrom(ctx)
+		if rec == nil {
+			return pj(ctx)
+		}
+		if queued, start, ok := batch.SchedInfo(ctx); ok {
+			pushed := start.Add(-queued)
+			rec.MarkAdmitted(pushed)
+			obs.Record(ctx, "sched-wait", "", pushed, start)
+		}
+		name := "legalize"
+		if k > 0 {
+			name = fmt.Sprintf("band %d/%d", band+1, k)
+		}
+		sctx, end := obs.StartSpan(ctx, name, traceDetail(e.jobs[j]))
+		defer end()
+		return pj(sctx)
+	}
 }
 
 // padding reports whether a band slot of job j is beyond the job's
@@ -286,7 +347,7 @@ func bandJob(job BatchJob, st *shardState, b int) batch.Job[*Outcome] {
 		if b >= len(p.bands) {
 			return nil, nil
 		}
-		if out, ok, err := st.cachedBand(job, b); ok || err != nil {
+		if out, ok, err := st.cachedBand(ctx, job, b); ok || err != nil {
 			return out, err
 		}
 		return job.legalizeOnDevice(ctx, p.bands[b])
@@ -334,6 +395,7 @@ func (c *shardCollector) observe(r batch.Result[*Outcome]) {
 	if k == 0 {
 		br := c.e.jobs[j].toResult(r)
 		br.Index = j
+		c.sealTrace(j, &br)
 		c.results[j] = br
 		c.emit(br)
 		return
@@ -350,8 +412,26 @@ func (c *shardCollector) observe(r batch.Result[*Outcome]) {
 	}
 	if c.got[j] == k {
 		br := c.fold(j)
+		c.sealTrace(j, &br)
 		c.results[j] = br
 		c.emit(br)
+	}
+}
+
+// sealTrace stamps the finished job's trace identity onto its result and
+// hands the recorder to the service's tracer. The span tree is snapshotted
+// here — after the job's last band folded — so the result carries the
+// complete tree, remote subtrees included. A no-op when the service does
+// not trace: the result's bytes are identical either way.
+func (c *shardCollector) sealTrace(j int, br *BatchResult) {
+	rec := c.e.recs[j]
+	if rec == nil {
+		return
+	}
+	br.TraceID = rec.ID()
+	br.Spans = rec.Spans()
+	if c.e.svc.tracer != nil {
+		c.e.svc.tracer.Add(rec)
 	}
 }
 
@@ -421,7 +501,16 @@ func (c *shardCollector) fold(j int) BatchResult {
 			modeled = o.ModeledSeconds
 		}
 	}
+	var stitchStart time.Time
+	if c.e.recs[j] != nil {
+		//flexvet:walltime stitch span timing is trace telemetry only
+		stitchStart = time.Now()
+	}
 	stitched, err := shard.Stitch(p.layout, p.plan, bandLayouts)
+	if rec := c.e.recs[j]; rec != nil {
+		//flexvet:walltime stitch span timing is trace telemetry only
+		rec.Record("stitch", fmt.Sprintf("%d bands", len(bandLayouts)), stitchStart, time.Now())
+	}
 	if err != nil {
 		br.Err = fmt.Errorf("flex: shard stitch: %w", err)
 		return br
